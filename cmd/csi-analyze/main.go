@@ -1,0 +1,141 @@
+// csi-analyze runs the CSI inference on a captured run: it detects chunk
+// requests in the encrypted trace, estimates sizes, matches chunk
+// sequences, and reports the inferred sequence with QoE metrics. When the
+// run carries ground truth (csi-run always records it), it also reports the
+// best/worst-candidate accuracy of Table 4.
+//
+// Usage:
+//
+//	csi-analyze -manifest bbb15.json -run run.json
+//	csi-analyze -manifest bbb15.json -run run.json -mux        # SQ designs
+//	csi-analyze -manifest bbb15.json -run run.json -display    # use screen info
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"csi/internal/capture"
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/pcap"
+	"csi/internal/qoe"
+)
+
+func main() {
+	var (
+		manifest = flag.String("manifest", "", "manifest file (.json, .mpd or .m3u8)")
+		runPath  = flag.String("run", "", "run JSON (from csi-run)")
+		mux      = flag.Bool("mux", false, "transport multiplexing analysis (SQ designs)")
+		display  = flag.Bool("display", false, "use displayed-chunk side information")
+		host     = flag.String("host", "", "media SNI host (default: manifest host)")
+		verbose  = flag.Bool("v", false, "print the full inferred sequence")
+	)
+	flag.Parse()
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "csi-analyze:", err)
+		os.Exit(1)
+	}
+	if *manifest == "" || *runPath == "" {
+		die(fmt.Errorf("-manifest and -run are required"))
+	}
+	man, err := media.LoadManifestFile(*manifest, *host)
+	if err != nil {
+		die(err)
+	}
+	run, err := loadRun(*runPath)
+	if err != nil {
+		die(err)
+	}
+	p := core.Params{MediaHost: *host, Mux: *mux}
+	if p.MediaHost == "" {
+		p.MediaHost = man.Host
+	}
+	if *display {
+		p.Display = run.Display
+	}
+	inf, err := core.Infer(man, run.Trace, p)
+	if err != nil {
+		die(err)
+	}
+
+	if inf.Mux {
+		fmt.Printf("QUIC transport-multiplexing analysis: %d traffic groups\n", len(inf.Groups))
+	} else {
+		fmt.Printf("detected %d chunk requests\n", len(inf.Requests))
+	}
+	fmt.Printf("matching chunk sequences: %g\n", inf.SequenceCount)
+	if inf.Truncated {
+		fmt.Println("note: group search hit its enumeration budget; the count is a lower bound")
+	}
+
+	if len(run.Truth) > 0 {
+		best, worst, err := inf.AccuracyRange(run.Truth)
+		if err != nil {
+			fmt.Printf("accuracy evaluation: %v\n", err)
+		} else {
+			fmt.Printf("accuracy vs ground truth: best %.1f%%, worst %.1f%%\n", 100*best, 100*worst)
+		}
+	}
+
+	if inf.Best != nil {
+		var chunks []qoe.Chunk
+		for i, a := range inf.Best.Assignments {
+			r := inf.Requests[i]
+			c := qoe.Chunk{ReqTime: r.Time, DoneTime: r.LastData, Audio: a.Audio}
+			switch {
+			case a.Noise:
+				continue
+			case a.Audio:
+				c.Track = a.AudioTrack
+				c.Size = man.Tracks[a.AudioTrack].Sizes[0]
+			default:
+				c.Track = a.Ref.Track
+				c.Index = a.Ref.Index
+				c.Size = man.Size(a.Ref)
+			}
+			chunks = append(chunks, c)
+			if *verbose {
+				if a.Audio {
+					fmt.Printf("  req %3d t=%8.2f audio track %d\n", i, r.Time, a.AudioTrack)
+				} else {
+					fmt.Printf("  req %3d t=%8.2f video track %d index %d (%d bytes)\n",
+						i, r.Time, a.Ref.Track, a.Ref.Index, man.Size(a.Ref))
+				}
+			}
+		}
+		rep, err := qoe.Analyze(chunks, qoe.Config{ChunkDur: man.ChunkDur})
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("QoE (from inferred sequence): startup %.1fs, %d stalls (%.1fs), %.1f MB data\n",
+			rep.StartupDelay, len(rep.Stalls), rep.StallTime, float64(rep.DataBytes)/1e6)
+		fmt.Printf("track playback share:")
+		for _, ti := range man.VideoTracks() {
+			if s, ok := rep.TrackShare[ti]; ok && s > 0.001 {
+				fmt.Printf(" T%d=%.1f%%", ti+1, 100*s)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// loadRun opens a run in JSON, binary or pcap format. Pcap captures carry
+// only the packet trace (no instrumentation side band).
+func loadRun(path string) (*capture.Run, error) {
+	if strings.HasSuffix(path, ".pcap") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := pcap.Read(f, pcap.ReadConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return &capture.Run{Trace: tr}, nil
+	}
+	return capture.LoadAny(path)
+}

@@ -1,0 +1,120 @@
+// csi-encode synthesizes ABR manifests: either a single encode with a
+// target PASR (substituting for the paper's FFmpeg three-pass encodes of
+// Big Buck Bunny, §3.3) or a sample of a service's catalogue profile
+// (Table 3).
+//
+// Usage:
+//
+//	csi-encode -pasr 1.5 -duration 600 -audio -o bbb15.json
+//	csi-encode -service Youtube -o yt.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"csi/internal/media"
+)
+
+func writeManifest(man *media.Manifest, format, out string) error {
+	switch format {
+	case "json":
+		return man.SaveJSON(out)
+	case "dash":
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := media.WriteMPD(f, man); err != nil {
+			return err
+		}
+		return f.Close()
+	case "hls":
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		mf, err := os.Create(filepath.Join(out, "master.m3u8"))
+		if err != nil {
+			return err
+		}
+		if err := media.WriteHLSMaster(mf, man); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		for ti := range man.Tracks {
+			name := fmt.Sprintf("%s-%d.m3u8", man.Tracks[ti].Kind, man.Tracks[ti].ID)
+			tf, err := os.Create(filepath.Join(out, name))
+			if err != nil {
+				return err
+			}
+			if err := media.WriteHLSMedia(tf, man, ti); err != nil {
+				tf.Close()
+				return err
+			}
+			if err := tf.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func main() {
+	var (
+		pasr     = flag.Float64("pasr", 1.5, "target peak-to-average size ratio per track")
+		duration = flag.Float64("duration", 600, "video duration, seconds")
+		chunkDur = flag.Float64("chunk", 5, "chunk duration, seconds")
+		audio    = flag.Bool("audio", false, "include a separate CBR audio track (S designs)")
+		seed     = flag.Int64("seed", 1, "encoder seed")
+		service  = flag.String("service", "", "sample one video from a Table-3 service profile (Amazon, Facebook, HBO Now, Hulu, Vudu, Youtube)")
+		name     = flag.String("name", "asset", "asset name")
+		format   = flag.String("format", "json", "output format: json, dash (MPD) or hls (playlist set)")
+		out      = flag.String("o", "manifest.json", "output path (hls: directory prefix)")
+	)
+	flag.Parse()
+
+	var man *media.Manifest
+	var err error
+	if *service != "" {
+		var svc media.ServiceProfile
+		svc, err = media.ServiceByName(*service)
+		if err == nil {
+			var vids []*media.Manifest
+			vids, err = svc.SampleVideos(*seed, 1, 0)
+			if err == nil {
+				man = vids[0]
+			}
+		}
+	} else {
+		audioTracks := 0
+		if *audio {
+			audioTracks = 1
+		}
+		man, err = media.Encode(media.EncodeConfig{
+			Name:        *name,
+			Seed:        *seed,
+			DurationSec: *duration,
+			ChunkDur:    *chunkDur,
+			TargetPASR:  *pasr,
+			AudioTracks: audioTracks,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csi-encode:", err)
+		os.Exit(1)
+	}
+	if err := writeManifest(man, *format, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "csi-encode:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d video tracks, %d audio tracks, %d chunks, median PASR %.2f\n",
+		*out, len(man.VideoTracks()), len(man.AudioTracks()), man.NumVideoChunks(), man.MedianPASR())
+}

@@ -1,0 +1,87 @@
+// csi-paper regenerates every table and figure of the paper's evaluation
+// (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	csi-paper -scale quick all
+//	csi-paper -scale full table4
+//	csi-paper prop1 fig5 table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"csi/internal/experiments"
+	"csi/internal/session"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	flag.Parse()
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintln(os.Stderr, "csi-paper: unknown scale", *scale)
+		os.Exit(1)
+	}
+
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = []string{"prop1", "fig4", "fig5", "table3", "table4", "groups", "fig10", "fig11", "hulu", "ablations", "baseline", "timing"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		var tab *experiments.Table
+		var err error
+		switch name {
+		case "prop1":
+			tab, err = experiments.Prop1(sc)
+		case "fig4":
+			tab, err = experiments.Fig4()
+		case "fig5":
+			tab, err = experiments.Fig5(sc)
+		case "table3":
+			tab, err = experiments.Table3(sc)
+		case "table4":
+			tab, err = experiments.Table4(sc)
+		case "table4-ch":
+			tab, err = experiments.Table4(sc, session.CH)
+		case "table4-sh":
+			tab, err = experiments.Table4(sc, session.SH)
+		case "table4-cq":
+			tab, err = experiments.Table4(sc, session.CQ)
+		case "table4-sq":
+			tab, err = experiments.Table4(sc, session.SQ)
+		case "groups":
+			tab, err = experiments.Groups(sc)
+		case "fig10":
+			tab, err = experiments.Fig10(sc)
+		case "fig11":
+			tab, err = experiments.Fig11(sc)
+		case "hulu":
+			tab, err = experiments.HuluBasics(sc)
+		case "ablations":
+			tab, err = experiments.Ablations(sc)
+		case "baseline":
+			tab, err = experiments.Baseline(sc)
+		case "timing":
+			tab, err = experiments.Timing(sc)
+		default:
+			fmt.Fprintln(os.Stderr, "csi-paper: unknown experiment", name)
+			os.Exit(1)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csi-paper: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.String())
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}

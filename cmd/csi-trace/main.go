@@ -1,0 +1,135 @@
+// csi-trace inspects a captured run: per-connection summaries, the detected
+// chunk-request timeline, and (for QUIC multiplexing) the SP1/SP2 traffic
+// groups. It is the debugging companion to csi-analyze.
+//
+// Usage:
+//
+//	csi-trace -run run.json
+//	csi-trace -run run.bin -host media.example.com -requests
+//	csi-trace -run run.bin -host media.example.com -mux
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"csi/internal/capture"
+	"csi/internal/core"
+	"csi/internal/packet"
+	"csi/internal/pcap"
+)
+
+func main() {
+	var (
+		runPath  = flag.String("run", "", "run file (.json or .bin)")
+		host     = flag.String("host", "", "media host for request/group analysis")
+		requests = flag.Bool("requests", false, "print the detected request timeline")
+		mux      = flag.Bool("mux", false, "print SP1/SP2 traffic groups (QUIC multiplexing)")
+	)
+	flag.Parse()
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "csi-trace:", err)
+		os.Exit(1)
+	}
+	if *runPath == "" {
+		die(fmt.Errorf("-run is required"))
+	}
+	run, err := loadRun(*runPath)
+	if err != nil {
+		die(err)
+	}
+	tr := run.Trace
+
+	// Per-connection summary.
+	type connSummary struct {
+		id                 int
+		proto              packet.Proto
+		pkts               int
+		upBytes, downBytes int64
+		first, last        float64
+	}
+	sums := map[int]*connSummary{}
+	for _, v := range tr.Packets {
+		s, ok := sums[v.ConnID]
+		if !ok {
+			s = &connSummary{id: v.ConnID, proto: v.Proto, first: v.Time}
+			sums[v.ConnID] = s
+		}
+		s.pkts++
+		s.last = v.Time
+		if v.Dir == packet.Up {
+			s.upBytes += v.Size
+		} else {
+			s.downBytes += v.Size
+		}
+	}
+	var ids []int
+	for id := range sums {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("%d packets, %d connections\n\n", len(tr.Packets), len(ids))
+	fmt.Printf("%-5s %-5s %-28s %-16s %9s %12s %12s %9s\n",
+		"conn", "proto", "sni", "server ip", "packets", "up bytes", "down bytes", "dur s")
+	for _, id := range ids {
+		s := sums[id]
+		fmt.Printf("%-5d %-5s %-28s %-16s %9d %12d %12d %9.1f\n",
+			id, s.proto, tr.SNI[id], tr.ServerIP[id], s.pkts, s.upBytes, s.downBytes, s.last-s.first)
+	}
+	if len(tr.DNS) > 0 {
+		fmt.Println("\nDNS associations:")
+		var dnsIPs []string
+		for ip := range tr.DNS {
+			dnsIPs = append(dnsIPs, ip)
+		}
+		sort.Strings(dnsIPs)
+		for _, ip := range dnsIPs {
+			fmt.Printf("  %-16s -> %s\n", ip, tr.DNS[ip])
+		}
+	}
+
+	if !*requests && !*mux {
+		return
+	}
+	if *host == "" {
+		die(fmt.Errorf("-host is required for -requests/-mux"))
+	}
+	est, err := core.Estimate(tr, core.Params{MediaHost: *host, Mux: *mux})
+	if err != nil {
+		die(err)
+	}
+	if *mux {
+		fmt.Printf("\n%d traffic groups:\n", len(est.Groups))
+		fmt.Printf("%-4s %10s %10s %6s %12s\n", "grp", "start", "end", "reqs", "est bytes")
+		for gi, g := range est.Groups {
+			fmt.Printf("%-4d %10.2f %10.2f %6d %12d\n", gi, g.Start, g.End, len(g.ReqTimes), g.Est)
+		}
+		return
+	}
+	fmt.Printf("\n%d detected requests:\n", len(est.Requests))
+	fmt.Printf("%-4s %10s %-5s %12s %10s\n", "req", "time", "conn", "est bytes", "done")
+	for i, r := range est.Requests {
+		fmt.Printf("%-4d %10.2f %-5d %12d %10.2f\n", i, r.Time, r.Conn, r.Est, r.LastData)
+	}
+}
+
+// loadRun opens a run in JSON, binary or pcap format. Pcap captures carry
+// only the packet trace (no instrumentation side band).
+func loadRun(path string) (*capture.Run, error) {
+	if strings.HasSuffix(path, ".pcap") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := pcap.Read(f, pcap.ReadConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return &capture.Run{Trace: tr}, nil
+	}
+	return capture.LoadAny(path)
+}

@@ -1,0 +1,111 @@
+package csi
+
+import (
+	"csi/internal/capture"
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/qoe"
+	"csi/internal/session"
+	"csi/internal/stats"
+	"csi/internal/uniq"
+)
+
+// Media model.
+type (
+	// Manifest is an ABR asset: the ladder of tracks with per-chunk sizes.
+	Manifest = media.Manifest
+	// EncodeConfig drives the synthetic VBR encoder.
+	EncodeConfig = media.EncodeConfig
+	// ChunkRef identifies one chunk (track + playback index).
+	ChunkRef = media.ChunkRef
+)
+
+// Encode synthesizes an ABR asset with a target PASR (see media.Encode).
+func Encode(cfg EncodeConfig) (*Manifest, error) { return media.Encode(cfg) }
+
+// LoadManifest reads a manifest JSON file.
+func LoadManifest(path string) (*Manifest, error) { return media.LoadJSON(path) }
+
+// Streaming sessions.
+type (
+	// SessionConfig describes one emulated streaming test run.
+	SessionConfig = session.Config
+	// SessionResult is the captured run plus transport statistics.
+	SessionResult = session.Result
+	// Design is the ABR system design type (Table 2 of the paper).
+	Design = session.Design
+	// BandwidthTrace is a piecewise-constant bandwidth profile.
+	BandwidthTrace = netem.BandwidthTrace
+	// TokenBucketConfig is the tc-tbf shaper configuration of §7.
+	TokenBucketConfig = netem.TokenBucketConfig
+)
+
+// The four ABR design types: Combined/Separate audio x HTTPS/QUIC.
+const (
+	CH = session.CH
+	SH = session.SH
+	CQ = session.CQ
+	SQ = session.SQ
+)
+
+// Stream runs one streaming session and captures its encrypted traffic.
+func Stream(cfg SessionConfig) (*SessionResult, error) { return session.Run(cfg) }
+
+// ConstantBandwidth returns a stable bandwidth profile (bits/s).
+func ConstantBandwidth(bps float64) *BandwidthTrace { return netem.Constant(bps) }
+
+// CellularBandwidth generates a synthetic variable cellular profile.
+func CellularBandwidth(seed int64, meanBps, variability float64) *BandwidthTrace {
+	return netem.GenerateCellular(netem.CellularConfig{Seed: seed, MeanBps: meanBps, Variability: variability})
+}
+
+// Inference.
+type (
+	// Params configures the CSI inferencer.
+	Params = core.Params
+	// Inference is the result: detected requests/groups, the number of
+	// matching chunk sequences, and one concrete sequence.
+	Inference = core.Inference
+	// Trace is the monitor-visible packet capture.
+	Trace = capture.Trace
+	// Run bundles a trace with the instrumentation side-band (ground
+	// truth, display log) used for evaluation.
+	Run = capture.Run
+)
+
+// Infer runs the CSI pipeline: connection filtering, request detection and
+// size estimation (Step 1), then candidate search and contiguity graph
+// matching (Step 2).
+func Infer(man *Manifest, tr *Trace, p Params) (*Inference, error) {
+	return core.Infer(man, tr, p)
+}
+
+// QoE analysis.
+type (
+	// QoEChunk is one downloaded chunk with timing, input to QoE analysis.
+	QoEChunk = qoe.Chunk
+	// QoEConfig sets the playback reconstruction model.
+	QoEConfig = qoe.Config
+	// QoEReport contains stalls, startup delay, track time distribution
+	// and data usage.
+	QoEReport = qoe.Report
+)
+
+// AnalyzeQoE reconstructs playback and computes QoE metrics from a chunk
+// sequence (inferred or ground truth).
+func AnalyzeQoE(chunks []QoEChunk, cfg QoEConfig) (*QoEReport, error) {
+	return qoe.Analyze(chunks, cfg)
+}
+
+// UniqueFraction measures the fingerprintability of an asset (§3.3): the
+// fraction of length-L chunk sequences whose size pattern is unique under a
+// size-estimation error bound k (0.01 for HTTPS, 0.05 for QUIC). Exact for
+// L=1, sampled otherwise.
+func UniqueFraction(man *Manifest, L int, k float64, samples int, seed int64) (float64, error) {
+	a, err := uniq.New(man, k)
+	if err != nil {
+		return 0, err
+	}
+	return a.UniqueFraction(L, samples, stats.NewRand(seed))
+}

@@ -1,0 +1,88 @@
+package csi_test
+
+import (
+	"testing"
+
+	"csi"
+)
+
+// TestFacadeEndToEnd exercises the full public API surface exactly as the
+// README quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	man, err := csi.Encode(csi.EncodeConfig{Name: "f", Seed: 2, DurationSec: 300, TargetPASR: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := csi.Stream(csi.SessionConfig{
+		Design:    csi.CH,
+		Manifest:  man,
+		Bandwidth: csi.ConstantBandwidth(4_000_000),
+		Duration:  120,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := csi.Infer(man, res.Run.Trace, csi.Params{MediaHost: man.Host})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, worst, err := inf.AccuracyRange(res.Run.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 1.0 {
+		t.Errorf("facade CH best accuracy %.3f, want 1.0", best)
+	}
+	if worst < 0.9 {
+		t.Errorf("facade CH worst accuracy %.3f", worst)
+	}
+
+	var chunks []csi.QoEChunk
+	for i, a := range inf.Best.Assignments {
+		if a.Audio || a.Noise {
+			continue
+		}
+		r := inf.Requests[i]
+		chunks = append(chunks, csi.QoEChunk{
+			ReqTime: r.Time, DoneTime: r.LastData,
+			Track: a.Ref.Track, Index: a.Ref.Index, Size: man.Size(a.Ref),
+		})
+	}
+	rep, err := csi.AnalyzeQoE(chunks, csi.QoEConfig{ChunkDur: man.ChunkDur, Horizon: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DataBytes == 0 || len(rep.TrackShare) == 0 {
+		t.Errorf("empty QoE report: %+v", rep)
+	}
+
+	// Shaped run through the same facade.
+	shaped, err := csi.Stream(csi.SessionConfig{
+		Design:    csi.CH,
+		Manifest:  man,
+		Bandwidth: csi.ConstantBandwidth(4_000_000),
+		Shaper:    &csi.TokenBucketConfig{RateBps: 1_000_000, BucketSize: 50_000},
+		Duration:  120,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shaped.Stats.DownlinkBytes >= res.Stats.DownlinkBytes {
+		t.Errorf("shaping did not reduce usage: %d vs %d", shaped.Stats.DownlinkBytes, res.Stats.DownlinkBytes)
+	}
+
+	// Fingerprintability helper.
+	f1, err := csi.UniqueFraction(man, 1, 0.01, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := csi.UniqueFraction(man, 6, 0.01, 1500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6 < f1 {
+		t.Errorf("uniqueness not increasing: L1=%.3f L6=%.3f", f1, f6)
+	}
+}

@@ -1,0 +1,30 @@
+// Package csi is a self-contained reproduction of "CSI: Inferring Mobile
+// ABR Video Adaptation Behavior under HTTPS and QUIC" (EuroSys 2020).
+//
+// CSI infers, from encrypted network traffic alone — packet sizes and
+// timing — exactly which ABR video chunks a closed-source player
+// downloaded: the track, the playback index, audio vs video, and when. It
+// works because chunk sizes act as fingerprints (Property 1: encrypted
+// traffic over-estimates object sizes by at most ~1% for HTTPS and ~5% for
+// QUIC) and playback indexes grow contiguously (Property 2), so a short
+// run of estimated sizes pins down the exact chunk sequence via a graph
+// search.
+//
+// This module bundles everything needed to exercise the system end to end
+// with no external dependencies: a synthetic VBR encoder, a discrete-event
+// network simulator with mini-TCP/TLS and mini-QUIC stacks, an ABR player
+// with several adaptation algorithms, a token-bucket shaper, the CSI
+// inference engine itself, and drivers reproducing every table and figure
+// of the paper's evaluation.
+//
+// The root package is a thin facade; see the quickstart:
+//
+//	man, _ := csi.Encode(csi.EncodeConfig{TargetPASR: 1.5})
+//	res, _ := csi.Stream(csi.SessionConfig{
+//		Design:    csi.CH,
+//		Manifest:  man,
+//		Bandwidth: csi.ConstantBandwidth(4_000_000),
+//	})
+//	inf, _ := csi.Infer(man, res.Run.Trace, csi.Params{MediaHost: man.Host})
+//	best, worst, _ := inf.AccuracyRange(res.Run.Truth)
+package csi

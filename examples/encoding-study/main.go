@@ -1,0 +1,52 @@
+// Encoding study: why chunk sizes work as fingerprints (§3.3, Figure 5).
+//
+// For VBR encodings of different variability (PASR), this example measures
+// the fraction of chunk sequences whose size pattern is unique under the
+// HTTPS (k=1%) and QUIC (k=5%) estimation error bounds. Single chunks are
+// essentially never unique; short sequences almost always are — the
+// foundational insight that makes CSI feasible.
+//
+// Run with: go run ./examples/encoding-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csi"
+)
+
+func main() {
+	fmt.Println("fraction of chunk sequences uniquely identifiable by size (%)")
+	fmt.Println()
+	fmt.Printf("%-6s %-4s", "PASR", "k%")
+	lengths := []int{1, 2, 3, 4, 6, 8}
+	for _, L := range lengths {
+		fmt.Printf("  L=%-4d", L)
+	}
+	fmt.Println()
+
+	for _, pasr := range []float64{1.1, 1.5, 2.0} {
+		man, err := csi.Encode(csi.EncodeConfig{
+			Name: "study", Seed: 1007, DurationSec: 634, TargetPASR: pasr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, k := range []float64{0.01, 0.05} {
+			fmt.Printf("%-6.1f %-4.0f", pasr, 100*k)
+			for _, L := range lengths {
+				f, err := csi.UniqueFraction(man, L, k, 4000, 1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-6.1f", 100*f)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+	fmt.Println("paper landmarks: <0.1% of single chunks unique at any PASR; 99.9% of")
+	fmt.Println("3-chunk sequences unique at PASR 1.1 / k=1%; 92.6% of 6-chunk sequences")
+	fmt.Println("unique at PASR 1.1 / k=5%.")
+}

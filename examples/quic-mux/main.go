@@ -1,0 +1,63 @@
+// QUIC multiplexing: the hardest case CSI handles (SQ in Table 2). Audio
+// and video chunks share one QUIC connection, their packets interleave, and
+// retransmitted data hides under fresh packet numbers. CSI splits the
+// traffic into groups at SP1/SP2 split points, searches chunk combinations
+// per group, and chains groups by index contiguity (§5.3.2).
+//
+// The example also shows the displayed-chunk side channel (stats-for-nerds
+// style screen information, §4.2) collapsing the ambiguity — the effect
+// behind Table 4's SQ rows.
+//
+// Run with: go run ./examples/quic-mux
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csi"
+)
+
+func main() {
+	man, err := csi.Encode(csi.EncodeConfig{
+		Name: "mux-demo", Seed: 17, DurationSec: 420, TargetPASR: 1.5,
+		AudioTracks: 1, // separate audio => transport multiplexing over QUIC
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := csi.Stream(csi.SessionConfig{
+		Design:    csi.SQ,
+		Manifest:  man,
+		Bandwidth: csi.CellularBandwidth(4, 5_000_000, 0.4),
+		Duration:  180,
+		Seed:      4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SQ session: %d video + %d audio chunks multiplexed on one QUIC connection\n",
+		res.Stats.VideoChunks, res.Stats.AudioChunks)
+
+	run := func(label string, p csi.Params) {
+		inf, err := csi.Infer(man, res.Run.Trace, p)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		best, worst, err := inf.AccuracyRange(res.Run.Truth)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("%-28s groups=%-3d sequences=%-12g best=%.1f%% worst=%.1f%%\n",
+			label, len(inf.Groups), inf.SequenceCount, 100*best, 100*worst)
+	}
+
+	run("without display info:", csi.Params{MediaHost: man.Host, Mux: true})
+	run("with display info:", csi.Params{MediaHost: man.Host, Mux: true, Display: res.Run.Display})
+
+	fmt.Println()
+	fmt.Println("expected shape (paper, Table 4 SQ row): the best candidate stays near the")
+	fmt.Println("ground truth either way, but without screen information many sequences fit")
+	fmt.Println("the traffic, so the worst candidate can be far off; display info prunes the")
+	fmt.Println("candidate sets and collapses the sequence count by orders of magnitude.")
+}

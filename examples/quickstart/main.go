@@ -1,0 +1,89 @@
+// Quickstart: the full CSI loop in one file.
+//
+//  1. Synthesize a VBR-encoded ABR asset (the manifest CSI collects in
+//     advance of a test, §4.1).
+//  2. Stream it over an emulated cellular network with an HTTPS player,
+//     capturing only what a monitor at the gateway can see of the
+//     encrypted traffic.
+//  3. Infer the downloaded chunk sequence from packet sizes and timing.
+//  4. Check against the instrumented player's ground truth and compute QoE.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csi"
+)
+
+func main() {
+	// 1. Encode: 10 minutes, 6-track ladder, VBR with PASR 1.5.
+	man, err := csi.Encode(csi.EncodeConfig{
+		Name:       "quickstart",
+		Seed:       42,
+		TargetPASR: 1.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded %q: %d tracks x %d chunks, median PASR %.2f\n",
+		man.Name, len(man.VideoTracks()), man.NumVideoChunks(), man.MedianPASR())
+
+	// 2. Stream for 3 minutes over a variable cellular link (combined
+	// audio+video over HTTPS — the CH design).
+	res, err := csi.Stream(csi.SessionConfig{
+		Design:    csi.CH,
+		Manifest:  man,
+		Bandwidth: csi.CellularBandwidth(7, 5_000_000, 0.4),
+		Duration:  180,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed: %d chunks downloaded, %d encrypted packets captured\n",
+		res.Stats.VideoChunks, len(res.Run.Trace.Packets))
+
+	// 3. Infer the chunk sequence from the encrypted trace alone.
+	inf, err := csi.Infer(man, res.Run.Trace, csi.Params{MediaHost: man.Host})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CSI: %d requests detected, %g matching sequence(s)\n",
+		len(inf.Requests), inf.SequenceCount)
+
+	// 4. Score against ground truth (the instrumented player's log).
+	best, worst, err := inf.AccuracyRange(res.Run.Truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy: best candidate %.1f%%, worst candidate %.1f%%\n",
+		100*best, 100*worst)
+
+	// QoE from the inferred sequence.
+	var chunks []csi.QoEChunk
+	for i, a := range inf.Best.Assignments {
+		if a.Audio || a.Noise {
+			continue
+		}
+		r := inf.Requests[i]
+		chunks = append(chunks, csi.QoEChunk{
+			ReqTime: r.Time, DoneTime: r.LastData,
+			Track: a.Ref.Track, Index: a.Ref.Index, Size: man.Size(a.Ref),
+		})
+	}
+	rep, err := csi.AnalyzeQoE(chunks, csi.QoEConfig{ChunkDur: man.ChunkDur, Horizon: 180})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QoE: startup %.1fs, %d stalls, %.1f MB downloaded\n",
+		rep.StartupDelay, len(rep.Stalls), float64(rep.DataBytes)/1e6)
+	for _, ti := range man.VideoTracks() {
+		if s := rep.TrackShare[ti]; s > 0.001 {
+			fmt.Printf("  track %d (%d kbit/s): %.1f%% of playback\n",
+				ti, man.Tracks[ti].Bitrate/1000, 100*s)
+		}
+	}
+}

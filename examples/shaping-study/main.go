@@ -1,0 +1,90 @@
+// Shaping study: the §7 use case. A mobile operator wants a token-bucket
+// policy that caps video data usage without wrecking QoE — but the player
+// is closed-source and its traffic is encrypted. CSI reads the player's
+// adaptation behaviour out of the encrypted traffic for each candidate
+// (r, N) configuration.
+//
+// Run with: go run ./examples/shaping-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csi"
+)
+
+func main() {
+	man, err := csi.Encode(csi.EncodeConfig{
+		Name: "movie", Seed: 9, DurationSec: 1200, TargetPASR: 1.35,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("token-bucket shaping vs player behaviour (Hulu-like client, 10 Mbit/s network)")
+	fmt.Println()
+	fmt.Printf("%-22s  %-10s  %-8s  %s\n", "policy", "data MB", "stalls", "track playback shares")
+
+	type policy struct {
+		name   string
+		shaper *csi.TokenBucketConfig
+	}
+	policies := []policy{
+		{"unshaped", nil},
+		{"r=1.5Mbps N=50KB", &csi.TokenBucketConfig{RateBps: 1_500_000, BucketSize: 50_000}},
+		{"r=1.5Mbps N=5MB", &csi.TokenBucketConfig{RateBps: 1_500_000, BucketSize: 5_000_000}},
+		{"r=3Mbps   N=50KB", &csi.TokenBucketConfig{RateBps: 3_000_000, BucketSize: 50_000}},
+	}
+	for _, pol := range policies {
+		res, err := csi.Stream(csi.SessionConfig{
+			Design:    csi.CH,
+			Manifest:  man,
+			Bandwidth: csi.ConstantBandwidth(10_000_000),
+			Shaper:    pol.shaper,
+			Duration:  300,
+			Seed:      3,
+			// Hulu-like client (§7): lowest track first, half-bandwidth
+			// rule, ~145 s buffer ceiling.
+			MaxBufferSec:    145,
+			ResumeBufferSec: 145,
+			StartupChunks:   3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Everything below is derived from the ENCRYPTED trace via CSI.
+		inf, err := csi.Infer(man, res.Run.Trace, csi.Params{MediaHost: man.Host})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var chunks []csi.QoEChunk
+		for i, a := range inf.Best.Assignments {
+			if a.Audio || a.Noise {
+				continue
+			}
+			r := inf.Requests[i]
+			chunks = append(chunks, csi.QoEChunk{
+				ReqTime: r.Time, DoneTime: r.LastData,
+				Track: a.Ref.Track, Index: a.Ref.Index, Size: man.Size(a.Ref),
+			})
+		}
+		rep, err := csi.AnalyzeQoE(chunks, csi.QoEConfig{ChunkDur: man.ChunkDur, Horizon: 300})
+		if err != nil {
+			log.Fatal(err)
+		}
+		shares := ""
+		for _, ti := range man.VideoTracks() {
+			if s := rep.TrackShare[ti]; s > 0.005 {
+				shares += fmt.Sprintf("T%d:%.0f%% ", ti+1, 100*s)
+			}
+		}
+		fmt.Printf("%-22s  %-10.1f  %-8d  %s\n",
+			pol.name, float64(res.Stats.DownlinkBytes)/1e6, len(rep.Stalls), shares)
+	}
+	fmt.Println()
+	fmt.Println("expected shape (paper, Figure 10/11): higher r and larger N push playback")
+	fmt.Println("to higher tracks and raise data usage; large buckets cause track oscillation")
+	fmt.Println("under variable bandwidth.")
+}

@@ -1,0 +1,3 @@
+module csi
+
+go 1.22

@@ -1,0 +1,257 @@
+package abr
+
+import (
+	"testing"
+
+	"csi/internal/media"
+	"csi/internal/sim"
+)
+
+// fakeFetcher completes each fetch after size/bandwidth seconds.
+type fakeFetcher struct {
+	eng *sim.Engine
+	man *media.Manifest
+	bps float64
+	// log of fetched refs in order
+	refs []media.ChunkRef
+}
+
+func (f *fakeFetcher) Fetch(ref media.ChunkRef, done func(now float64)) {
+	f.refs = append(f.refs, ref)
+	dt := float64(f.man.Size(ref)) * 8 / f.bps
+	f.eng.Schedule(dt, func() { done(f.eng.Now()) })
+}
+
+func testManifest(t *testing.T, audio int) *media.Manifest {
+	t.Helper()
+	return media.MustEncode(media.EncodeConfig{
+		Name: "abr", Seed: 3, DurationSec: 300, ChunkDur: 5, TargetPASR: 1.4, AudioTracks: audio,
+	})
+}
+
+func newTestPlayer(t *testing.T, man *media.Manifest, bps float64, cfg Config) (*Player, *fakeFetcher, *sim.Engine) {
+	t.Helper()
+	eng := sim.New()
+	eng.SetEventLimit(1_000_000)
+	vf := &fakeFetcher{eng: eng, man: man, bps: bps}
+	cfg.Manifest = man
+	if cfg.Algo == nil {
+		cfg.Algo = Exo{}
+	}
+	cfg.VideoFetcher = vf
+	if man.HasSeparateAudio() {
+		cfg.AudioFetcher = vf
+	}
+	p, err := NewPlayer(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, vf, eng
+}
+
+func TestPlayerDownloadsSequentially(t *testing.T) {
+	man := testManifest(t, 0)
+	p, vf, eng := newTestPlayer(t, man, 8_000_000, Config{StopAt: 100})
+	p.Start()
+	eng.Run()
+	p.Finish()
+	last := -1
+	for _, r := range vf.refs {
+		if r.Index != last+1 {
+			t.Fatalf("indexes not sequential: %d after %d", r.Index, last)
+		}
+		last = r.Index
+	}
+	if len(p.Truth()) != len(vf.refs) {
+		t.Fatalf("truth %d != fetched %d", len(p.Truth()), len(vf.refs))
+	}
+}
+
+func TestStartupUsesLowestTrack(t *testing.T) {
+	man := testManifest(t, 0)
+	p, vf, eng := newTestPlayer(t, man, 8_000_000, Config{StopAt: 60, StartupChunks: 3})
+	p.Start()
+	eng.Run()
+	lowest := man.VideoTracks()[0]
+	for i := 0; i < 3 && i < len(vf.refs); i++ {
+		if vf.refs[i].Track != lowest {
+			t.Fatalf("startup chunk %d from track %d, want lowest %d", i, vf.refs[i].Track, lowest)
+		}
+	}
+}
+
+func TestBufferCapPacesDownloads(t *testing.T) {
+	man := testManifest(t, 0)
+	// Very fast network: without the cap, the whole video would download
+	// immediately.
+	p, vf, eng := newTestPlayer(t, man, 100_000_000, Config{
+		StopAt: 100, MaxBufferSec: 30, ResumeBufferSec: 15,
+	})
+	p.Start()
+	eng.Run()
+	p.Finish()
+	// At most startup + ~(100s playback + 30s buffer)/5s chunks.
+	maxChunks := int((100+30)/5) + 3
+	if len(vf.refs) > maxChunks {
+		t.Fatalf("downloaded %d chunks in 100s with a 30s buffer cap (max ~%d)", len(vf.refs), maxChunks)
+	}
+	// And the last request must be well after the start (pacing).
+	lastReq := p.Truth()[len(p.Truth())-1].ReqTime
+	if lastReq < 50 {
+		t.Fatalf("last request at %g, expected ON-OFF pacing", lastReq)
+	}
+}
+
+func TestSlowNetworkStalls(t *testing.T) {
+	man := testManifest(t, 0)
+	// 100 kbit/s cannot sustain even the lowest (200 kbit/s) track.
+	p, _, eng := newTestPlayer(t, man, 100_000, Config{StopAt: 120})
+	p.Start()
+	eng.RunUntil(200)
+	p.Finish()
+	if len(p.Stalls()) == 0 {
+		t.Fatal("no stalls on a starved network")
+	}
+}
+
+func TestAudioVideoProgressTogether(t *testing.T) {
+	man := testManifest(t, 1)
+	p, vf, eng := newTestPlayer(t, man, 8_000_000, Config{StopAt: 80})
+	p.Start()
+	eng.Run()
+	p.Finish()
+	video, audio := 0, 0
+	for _, r := range vf.refs {
+		if man.Tracks[r.Track].Kind == media.Audio {
+			audio++
+		} else {
+			video++
+		}
+	}
+	if video == 0 || audio == 0 {
+		t.Fatalf("video=%d audio=%d", video, audio)
+	}
+	if diff := video - audio; diff < -2 || diff > 2 {
+		t.Fatalf("pipelines diverged: video=%d audio=%d", video, audio)
+	}
+}
+
+func TestDisplayLogCoversPlayback(t *testing.T) {
+	man := testManifest(t, 0)
+	p, _, eng := newTestPlayer(t, man, 8_000_000, Config{StopAt: 60})
+	p.Start()
+	eng.Run()
+	p.Finish()
+	log := p.DisplayLog()
+	if len(log) == 0 {
+		t.Fatal("empty display log")
+	}
+	for i, d := range log {
+		if d.End <= d.Start {
+			t.Fatalf("display record %d has non-positive duration: %+v", i, d)
+		}
+		if i > 0 && d.Index != log[i-1].Index+1 {
+			t.Fatalf("display indexes not sequential at %d: %+v after %+v", i, d, log[i-1])
+		}
+	}
+}
+
+func TestAlgorithmsReactToThroughput(t *testing.T) {
+	man := testManifest(t, 0)
+	ladder := man.VideoTracks()
+	for _, algo := range []Algorithm{Rate{}, Exo{}, HuluHalf{}} {
+		low := algo.Select(State{ThroughputBps: 300_000, BufferSec: 30, LastTrack: ladder[0], Manifest: man})
+		high := algo.Select(State{ThroughputBps: 50_000_000, BufferSec: 30, LastTrack: ladder[len(ladder)-1], Manifest: man})
+		if man.Tracks[low].Bitrate >= man.Tracks[high].Bitrate {
+			t.Errorf("%s: low-bw track %d >= high-bw track %d", algo.Name(), low, high)
+		}
+	}
+}
+
+func TestBOLAFollowsBuffer(t *testing.T) {
+	man := testManifest(t, 0)
+	a := BOLA{}
+	lo := a.Select(State{BufferSec: 2, Manifest: man})
+	hi := a.Select(State{BufferSec: 80, Manifest: man})
+	if man.Tracks[lo].Bitrate >= man.Tracks[hi].Bitrate {
+		t.Errorf("BOLA: low-buffer track %d >= high-buffer track %d", lo, hi)
+	}
+	// At an empty buffer BOLA must pick the lowest rung; above the target
+	// it must pick the highest.
+	if got := a.Select(State{BufferSec: 0, Manifest: man}); got != man.VideoTracks()[0] {
+		t.Errorf("BOLA at empty buffer picked track %d", got)
+	}
+	vts := man.VideoTracks()
+	if got := a.Select(State{BufferSec: 120, Manifest: man}); got != vts[len(vts)-1] {
+		t.Errorf("BOLA at full buffer picked track %d", got)
+	}
+}
+
+func TestBBAFollowsBuffer(t *testing.T) {
+	man := testManifest(t, 0)
+	a := BBA{}
+	lo := a.Select(State{BufferSec: 5, Manifest: man})
+	hi := a.Select(State{BufferSec: 70, Manifest: man})
+	if man.Tracks[lo].Bitrate >= man.Tracks[hi].Bitrate {
+		t.Errorf("BBA: low-buffer track %d >= high-buffer track %d", lo, hi)
+	}
+}
+
+func TestHuluHalfRule(t *testing.T) {
+	man := testManifest(t, 0)
+	a := HuluHalf{}
+	for _, bw := range []float64{1_000_000, 2_000_000, 4_000_000, 12_000_000} {
+		tr := a.Select(State{ThroughputBps: bw, Manifest: man})
+		if float64(man.Tracks[tr].Bitrate) > bw/2 {
+			t.Errorf("HuluHalf at %.0f selected track with bitrate %d > bw/2", bw, man.Tracks[tr].Bitrate)
+		}
+	}
+}
+
+func TestExoHysteresis(t *testing.T) {
+	man := testManifest(t, 0)
+	a := Exo{}
+	ladder := man.VideoTracks()
+	cur := ladder[1]
+	// High throughput but low buffer: must not switch up.
+	got := a.Select(State{ThroughputBps: 50_000_000, BufferSec: 3, LastTrack: cur, Manifest: man})
+	if got != cur {
+		t.Errorf("Exo switched up with 3s buffer: %d -> %d", cur, got)
+	}
+	// Low throughput but huge buffer: must not switch down yet.
+	cur = ladder[4]
+	got = a.Select(State{ThroughputBps: 500_000, BufferSec: 60, LastTrack: cur, Manifest: man})
+	if got != cur {
+		t.Errorf("Exo switched down with 60s buffer: %d -> %d", cur, got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"rate", "bba", "bola", "exo", "hulu-half"} {
+		a, err := ByName(n)
+		if err != nil || a.Name() != n {
+			t.Errorf("ByName(%q) = %v, %v", n, a, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	man := testManifest(t, 1)
+	eng := sim.New()
+	if _, err := NewPlayer(eng, Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewPlayer(eng, Config{Manifest: man, Algo: Exo{}}); err == nil {
+		t.Error("missing fetcher accepted")
+	}
+	vf := &fakeFetcher{eng: eng, man: man, bps: 1}
+	if _, err := NewPlayer(eng, Config{Manifest: man, Algo: Exo{}, VideoFetcher: vf}); err == nil {
+		t.Error("separate-audio manifest without audio fetcher accepted")
+	}
+	if _, err := NewPlayer(eng, Config{Manifest: man, Algo: Exo{}, VideoFetcher: vf, AudioFetcher: vf, StartIndex: 9999}); err == nil {
+		t.Error("out-of-range start index accepted")
+	}
+}

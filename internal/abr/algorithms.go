@@ -1,0 +1,190 @@
+// Package abr implements the client side of ABR streaming: a player with
+// buffer management, startup and stall behaviour, ON-OFF download pausing,
+// and pluggable track-adaptation algorithms.
+//
+// CSI itself makes no assumption about the adaptation logic (§5.3); the
+// algorithms here exist to generate realistically diverse client behaviour
+// for the evaluation, mirroring the paper's ExoPlayer test client (§6.2) and
+// the Hulu client it studies in §7.
+package abr
+
+import (
+	"fmt"
+
+	"csi/internal/media"
+)
+
+// State is the input to a track-selection decision.
+type State struct {
+	// ThroughputBps is the player's smoothed throughput estimate in
+	// bits/s; 0 before the first chunk completes.
+	ThroughputBps float64
+	// BufferSec is the current video buffer occupancy in seconds.
+	BufferSec float64
+	// LastTrack is the manifest track index of the previous video chunk,
+	// or -1 at startup.
+	LastTrack int
+	// Manifest provides the ladder.
+	Manifest *media.Manifest
+}
+
+// Algorithm selects the video track for the next chunk.
+type Algorithm interface {
+	Name() string
+	Select(s State) int // returns a manifest track index (must be a video track)
+}
+
+// ladder returns video track indexes in ascending bitrate order.
+func ladder(m *media.Manifest) []int {
+	ts := m.VideoTracks()
+	// The encoder emits ascending bitrates, but be defensive about
+	// hand-written manifests.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && m.Tracks[ts[j]].Bitrate < m.Tracks[ts[j-1]].Bitrate; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+	return ts
+}
+
+// highestBelow returns the highest-bitrate video track whose bitrate is at
+// most budget (bits/s), defaulting to the lowest rung.
+func highestBelow(m *media.Manifest, budget float64) int {
+	ts := ladder(m)
+	best := ts[0]
+	for _, ti := range ts {
+		if float64(m.Tracks[ti].Bitrate) <= budget {
+			best = ti
+		}
+	}
+	return best
+}
+
+// Rate is a pure throughput-based algorithm: pick the highest track whose
+// bitrate fits within a safety fraction of estimated throughput.
+type Rate struct {
+	// Fraction of estimated throughput considered usable. Default 0.8.
+	Fraction float64
+}
+
+func (a Rate) Name() string { return "rate" }
+
+func (a Rate) Select(s State) int {
+	f := a.Fraction
+	if f == 0 {
+		f = 0.8
+	}
+	if s.ThroughputBps <= 0 {
+		return ladder(s.Manifest)[0]
+	}
+	return highestBelow(s.Manifest, f*s.ThroughputBps)
+}
+
+// BBA is a buffer-based algorithm in the spirit of the BBA/BOLA family: the
+// buffer level maps linearly between a reservoir and a cushion onto the
+// bitrate ladder, ignoring throughput except at startup.
+type BBA struct {
+	ReservoirSec float64 // below this, lowest track; default 10
+	CushionSec   float64 // above this, highest track; default 60
+}
+
+func (a BBA) Name() string { return "bba" }
+
+func (a BBA) Select(s State) int {
+	res, cus := a.ReservoirSec, a.CushionSec
+	if res == 0 {
+		res = 10
+	}
+	if cus == 0 {
+		cus = 60
+	}
+	ts := ladder(s.Manifest)
+	if s.BufferSec <= res {
+		return ts[0]
+	}
+	if s.BufferSec >= cus {
+		return ts[len(ts)-1]
+	}
+	frac := (s.BufferSec - res) / (cus - res)
+	i := int(frac * float64(len(ts)-1))
+	if i >= len(ts) {
+		i = len(ts) - 1
+	}
+	return ts[i]
+}
+
+// Exo models ExoPlayer's AdaptiveTrackSelection, the client the paper uses
+// for its evaluation: bandwidth-fraction throughput selection with buffer
+// hysteresis on switches (min buffered duration before switching up, max
+// buffered duration before switching down).
+type Exo struct {
+	BandwidthFraction float64 // default 0.75
+	MinDurForUpSec    float64 // default 10
+	MaxDurForDownSec  float64 // default 25
+}
+
+func (a Exo) Name() string { return "exo" }
+
+func (a Exo) Select(s State) int {
+	bf := a.BandwidthFraction
+	if bf == 0 {
+		bf = 0.75
+	}
+	up := a.MinDurForUpSec
+	if up == 0 {
+		up = 10
+	}
+	down := a.MaxDurForDownSec
+	if down == 0 {
+		down = 25
+	}
+	ts := ladder(s.Manifest)
+	if s.ThroughputBps <= 0 || s.LastTrack < 0 {
+		return ts[0]
+	}
+	ideal := highestBelow(s.Manifest, bf*s.ThroughputBps)
+	cur := s.LastTrack
+	ib := s.Manifest.Tracks[ideal].Bitrate
+	cb := s.Manifest.Tracks[cur].Bitrate
+	switch {
+	case ib > cb && s.BufferSec < up:
+		return cur // not enough buffer to risk switching up
+	case ib < cb && s.BufferSec > down:
+		return cur // enough buffer to ride out the dip
+	default:
+		return ideal
+	}
+}
+
+// HuluHalf reproduces the behaviour §7 observes on Hulu: the client
+// converges to the highest track whose bitrate is at most half the
+// available bandwidth.
+type HuluHalf struct{}
+
+func (HuluHalf) Name() string { return "hulu-half" }
+
+func (HuluHalf) Select(s State) int {
+	ts := ladder(s.Manifest)
+	if s.ThroughputBps <= 0 {
+		return ts[0]
+	}
+	return highestBelow(s.Manifest, s.ThroughputBps/2)
+}
+
+// ByName returns a default-configured algorithm by name.
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "rate":
+		return Rate{}, nil
+	case "bba":
+		return BBA{}, nil
+	case "bola":
+		return BOLA{}, nil
+	case "exo":
+		return Exo{}, nil
+	case "hulu-half":
+		return HuluHalf{}, nil
+	default:
+		return nil, fmt.Errorf("abr: unknown algorithm %q", name)
+	}
+}

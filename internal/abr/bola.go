@@ -1,0 +1,61 @@
+package abr
+
+import "math"
+
+// BOLA implements the BOLA-BASIC variant of Spiteri, Urgaonkar and
+// Sitaraman's Lyapunov-based bitrate adaptation (cited by the paper as one
+// of the complex adaptation algorithms third parties need to understand).
+// The track utilities are v_m = ln(S_m / S_min); given a buffer level of Q
+// chunks, the algorithm picks the track maximizing
+//
+//	rho_m = (V*(v_m + gp) - Q) / S_m
+//
+// where V and gp are derived from the buffer target so that the highest
+// track is chosen when the buffer is full and the lowest when it is empty.
+type BOLA struct {
+	// BufferTargetSec is the buffer level at which the highest track
+	// becomes optimal. Default 60.
+	BufferTargetSec float64
+	// Gp is the playback-smoothness utility weight. Default 5.
+	Gp float64
+}
+
+func (a BOLA) Name() string { return "bola" }
+
+func (a BOLA) Select(s State) int {
+	target := a.BufferTargetSec
+	if target == 0 {
+		target = 60
+	}
+	gp := a.Gp
+	if gp == 0 {
+		gp = 5
+	}
+	ts := ladder(s.Manifest)
+	dur := s.Manifest.ChunkDur
+	if dur <= 0 {
+		dur = 5
+	}
+	qMax := target / dur // buffer target in chunks
+	if qMax < 2 {
+		qMax = 2
+	}
+	sMin := float64(s.Manifest.Tracks[ts[0]].Bitrate)
+	vMax := math.Log(float64(s.Manifest.Tracks[ts[len(ts)-1]].Bitrate) / sMin)
+	// V chosen so that at Q = qMax the highest track maximizes rho.
+	V := (qMax - 1) / (vMax + gp)
+
+	q := s.BufferSec / dur
+	bestTrack := ts[0]
+	bestRho := math.Inf(-1)
+	for _, ti := range ts {
+		size := float64(s.Manifest.Tracks[ti].Bitrate) // proportional to chunk size
+		v := math.Log(size / sMin)
+		rho := (V*(v+gp) - q) / size
+		if rho > bestRho {
+			bestRho = rho
+			bestTrack = ti
+		}
+	}
+	return bestTrack
+}

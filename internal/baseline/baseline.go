@@ -1,0 +1,109 @@
+// Package baseline implements naive inference baselines that CSI is
+// compared against. The paper argues (§8) that existing traffic-analysis
+// and QoE-estimation approaches cannot identify chunk sequences; these
+// baselines make that argument measurable.
+//
+// NearestMean assigns each detected request the track whose MEAN chunk size
+// is closest to the estimated size — the "bitrate matching" assumption of
+// eMIMIC-style estimators — and numbers chunks sequentially from zero. It
+// uses neither Property 1's per-chunk sizes nor Property 2's contiguity
+// graph, so it degrades exactly where VBR variance and mid-video starts
+// appear.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"csi/internal/capture"
+	"csi/internal/core"
+	"csi/internal/media"
+)
+
+// Assignment mirrors core.Assignment for the baseline output.
+type Assignment struct {
+	Audio bool
+	Track int
+	Index int
+}
+
+// NearestMean runs the baseline on Step-1 output (it shares CSI's request
+// detection, so the comparison isolates the identification step).
+func NearestMean(man *media.Manifest, est *core.Estimation) ([]Assignment, error) {
+	if est.Mux {
+		return nil, fmt.Errorf("baseline: transport-multiplexed traffic not supported (no per-request sizes)")
+	}
+	type trackMean struct {
+		track int
+		mean  float64
+		audio bool
+	}
+	var means []trackMean
+	for ti := range man.Tracks {
+		tr := &man.Tracks[ti]
+		means = append(means, trackMean{track: ti, mean: tr.MeanSize(), audio: tr.Kind == media.Audio})
+	}
+	out := make([]Assignment, 0, len(est.Requests))
+	videoIdx := 0
+	for _, r := range est.Requests {
+		bestI, bestD := 0, math.Inf(1)
+		for i, m := range means {
+			d := math.Abs(float64(r.Est) - m.mean)
+			if d < bestD {
+				bestI, bestD = i, d
+			}
+		}
+		m := means[bestI]
+		a := Assignment{Audio: m.audio, Track: m.track}
+		if !m.audio {
+			a.Index = videoIdx
+			videoIdx++
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Accuracy scores baseline assignments against ground truth with the same
+// per-request criterion as CSI's evaluation: media type, track and (for
+// video) playback index must all match.
+func Accuracy(assignments []Assignment, truth []capture.TruthRecord) (float64, error) {
+	if len(assignments) != len(truth) {
+		return 0, fmt.Errorf("baseline: %d assignments vs %d truth records", len(assignments), len(truth))
+	}
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("baseline: empty run")
+	}
+	correct := 0
+	for i, a := range assignments {
+		tr := truth[i]
+		if a.Audio {
+			if tr.Kind == media.Audio && tr.Ref.Track == a.Track {
+				correct++
+			}
+			continue
+		}
+		if tr.Kind == media.Video && tr.Ref.Track == a.Track && tr.Ref.Index == a.Index {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth)), nil
+}
+
+// TrackAccuracy scores only the track identification (ignoring indexes),
+// the weaker claim naive approaches can sometimes support.
+func TrackAccuracy(assignments []Assignment, truth []capture.TruthRecord) (float64, error) {
+	if len(assignments) != len(truth) {
+		return 0, fmt.Errorf("baseline: %d assignments vs %d truth records", len(assignments), len(truth))
+	}
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("baseline: empty run")
+	}
+	correct := 0
+	for i, a := range assignments {
+		if truth[i].Ref.Track == a.Track {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth)), nil
+}

@@ -1,0 +1,70 @@
+package baseline
+
+import (
+	"testing"
+
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/session"
+)
+
+func TestNearestMeanVsCSI(t *testing.T) {
+	man := media.MustEncode(media.EncodeConfig{
+		Name: "b", Seed: 77, DurationSec: 420, ChunkDur: 5, TargetPASR: 1.6,
+	})
+	res, err := session.Run(session.Config{
+		Design: session.CH, Manifest: man,
+		Bandwidth: netem.GenerateCellular(netem.CellularConfig{Seed: 5, MeanBps: 5_000_000, Variability: 0.5}),
+		Duration:  180, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{MediaHost: man.Host}
+	est, err := core.Estimate(res.Run.Trace, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigns, err := NearestMean(man, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Accuracy(assigns, res.Run.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := core.Infer(man, res.Run.Trace, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, csiWorst, err := inf.AccuracyRange(res.Run.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("naive=%.3f csi-worst=%.3f", naive, csiWorst)
+	// With PASR 1.6, mean-size matching misidentifies the track whenever
+	// the scene complexity strays from the mean; CSI's worst candidate
+	// must beat the naive baseline decisively.
+	if csiWorst <= naive {
+		t.Errorf("CSI worst %.3f did not beat naive baseline %.3f", csiWorst, naive)
+	}
+	if naive > 0.9 {
+		t.Errorf("naive baseline suspiciously good (%.3f); VBR variance missing?", naive)
+	}
+}
+
+func TestBaselineRejectsMux(t *testing.T) {
+	if _, err := NearestMean(nil, &core.Estimation{Mux: true}); err == nil {
+		t.Fatal("MUX estimation accepted")
+	}
+}
+
+func TestAccuracyValidation(t *testing.T) {
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Fatal("empty run accepted")
+	}
+	if _, err := Accuracy(make([]Assignment, 2), nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package capture
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"csi/internal/media"
+	"csi/internal/packet"
+)
+
+func sampleRun() *Run {
+	tr := NewTrace()
+	tap := tr.Tap()
+	tap(packet.View{Dir: packet.Up, ConnID: 1, Size: 100, SNI: "media.example.com", Proto: packet.TCP}, 0.1)
+	tap(packet.View{Dir: packet.Down, ConnID: 1, Size: 1452, TCPSeq: 0, TCPPayload: 1400, TLSAppBytes: 1380, Proto: packet.TCP}, 0.2)
+	tap(packet.View{Dir: packet.Up, ConnID: 2, Size: 90, SNI: "api.example.com", Proto: packet.TCP}, 0.3)
+	return &Run{
+		Trace:   tr,
+		Truth:   []TruthRecord{{ReqTime: 0.1, DoneTime: 0.5, Ref: media.ChunkRef{Track: 1, Index: 0}, Kind: media.Video, Size: 1380}},
+		Display: []DisplayRecord{{Start: 1, End: 6, Index: 0, Track: 1}},
+		Stalls:  []StallRecord{{Start: 2, End: 3}},
+	}
+}
+
+func TestTapRecordsSNIOncePerConn(t *testing.T) {
+	tr := NewTrace()
+	tap := tr.Tap()
+	tap(packet.View{ConnID: 1, SNI: "a.example.com"}, 0)
+	tap(packet.View{ConnID: 1, SNI: "evil.example.org"}, 1) // later SNI must not overwrite
+	if got := tr.SNI[1]; got != "a.example.com" {
+		t.Fatalf("SNI = %q", got)
+	}
+}
+
+func TestConnIDsSuffixMatch(t *testing.T) {
+	r := sampleRun()
+	ids := r.Trace.ConnIDs("media.example.com")
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("ids = %v", ids)
+	}
+	both := r.Trace.ConnIDs("example.com")
+	if len(both) != 2 {
+		t.Fatalf("suffix match ids = %v", both)
+	}
+	if got := r.Trace.ConnIDs("nosuch.host"); len(got) != 0 {
+		t.Fatalf("unexpected match %v", got)
+	}
+}
+
+func TestByConnPreservesOrder(t *testing.T) {
+	r := sampleRun()
+	m := r.Trace.ByConn()
+	if len(m[1]) != 2 || len(m[2]) != 1 {
+		t.Fatalf("by-conn sizes: %d, %d", len(m[1]), len(m[2]))
+	}
+	if m[1][0].Time > m[1][1].Time {
+		t.Fatal("per-conn packets out of order")
+	}
+}
+
+func TestRunJSONRoundTrip(t *testing.T) {
+	r := sampleRun()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trace.Packets) != len(r.Trace.Packets) ||
+		len(got.Truth) != 1 || len(got.Display) != 1 || len(got.Stalls) != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Trace.SNI[1] != "media.example.com" {
+		t.Fatalf("SNI lost: %v", got.Trace.SNI)
+	}
+	if got.Truth[0].Ref != r.Truth[0].Ref {
+		t.Fatalf("truth ref mismatch")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	r := sampleRun()
+	if err := r.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trace.Packets) != 3 {
+		t.Fatalf("loaded %d packets", len(got.Trace.Packets))
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{]")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"truth":[]}`)); err == nil {
+		t.Error("trace-less run accepted")
+	}
+}
+
+func TestDNSFallbackWhenSNIMissing(t *testing.T) {
+	tr := NewTrace()
+	tap := tr.Tap()
+	// DNS exchange announces the media host's IP.
+	tap(packet.View{Dir: packet.Up, Proto: packet.UDP, DNSQuery: "media.example.com"}, 0.01)
+	tap(packet.View{Dir: packet.Down, Proto: packet.UDP, DNSQuery: "media.example.com", DNSAnswerIP: "203.0.113.10"}, 0.02)
+	// Connection 5 has no SNI (ESNI) but a matching server IP.
+	tap(packet.View{Dir: packet.Up, Proto: packet.TCP, ConnID: 5, ServerIP: "203.0.113.10", TCPPayload: 300}, 0.1)
+	// Connection 6 has neither SNI nor a known IP.
+	tap(packet.View{Dir: packet.Up, Proto: packet.TCP, ConnID: 6, ServerIP: "198.51.100.1", TCPPayload: 300}, 0.1)
+	ids := tr.ConnIDs("media.example.com")
+	if len(ids) != 1 || ids[0] != 5 {
+		t.Fatalf("DNS fallback ids = %v, want [5]", ids)
+	}
+}
+
+func TestSNITakesPrecedenceOverDNS(t *testing.T) {
+	tr := NewTrace()
+	tap := tr.Tap()
+	tap(packet.View{Dir: packet.Down, Proto: packet.UDP, DNSQuery: "media.example.com", DNSAnswerIP: "203.0.113.10"}, 0)
+	// Conn 7 carries a DIFFERENT SNI but reuses the same front IP (CDN):
+	// the SNI must win and exclude it.
+	tap(packet.View{Dir: packet.Up, Proto: packet.TCP, ConnID: 7, ServerIP: "203.0.113.10", SNI: "other.example.org"}, 0.1)
+	if ids := tr.ConnIDs("media.example.com"); len(ids) != 0 {
+		t.Fatalf("SNI-mismatched conn leaked in via IP: %v", ids)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := sampleRun()
+	var buf bytes.Buffer
+	if err := r.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trace.Packets) != len(r.Trace.Packets) {
+		t.Fatalf("packets = %d", len(got.Trace.Packets))
+	}
+	for i := range r.Trace.Packets {
+		if got.Trace.Packets[i] != r.Trace.Packets[i] {
+			t.Fatalf("packet %d mismatch:\n got %+v\nwant %+v", i, got.Trace.Packets[i], r.Trace.Packets[i])
+		}
+	}
+	if got.Trace.SNI[1] != "media.example.com" {
+		t.Fatalf("SNI lost: %v", got.Trace.SNI)
+	}
+	if len(got.Truth) != 1 || got.Truth[0] != r.Truth[0] {
+		t.Fatalf("truth mismatch: %+v", got.Truth)
+	}
+	if len(got.Display) != 1 || got.Display[0] != r.Display[0] {
+		t.Fatalf("display mismatch: %+v", got.Display)
+	}
+	if len(got.Stalls) != 1 || got.Stalls[0] != r.Stalls[0] {
+		t.Fatalf("stalls mismatch: %+v", got.Stalls)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewBufferString("NOTRUN...")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream.
+	r := sampleRun()
+	var buf bytes.Buffer
+	if err := r.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewBuffer(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestLoadAnySniffsFormat(t *testing.T) {
+	dir := t.TempDir()
+	r := sampleRun()
+	jp := filepath.Join(dir, "run.json")
+	bp := filepath.Join(dir, "run.bin")
+	if err := r.SaveJSON(jp); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveBinary(bp); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{jp, bp} {
+		got, err := LoadAny(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(got.Trace.Packets) != len(r.Trace.Packets) {
+			t.Fatalf("%s: packets = %d", p, len(got.Trace.Packets))
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package core implements CSI — the Chunk Sequence Inferencer of the paper
+// "CSI: Inferring Mobile ABR Video Adaptation Behavior under HTTPS and QUIC"
+// (EuroSys 2020).
+//
+// Given (a) the per-chunk size ladder of a video (collected in advance from
+// the manifest) and (b) a packet capture of an encrypted streaming session,
+// CSI infers the identity — media type, track and playback index — and the
+// download time of every chunk the player fetched, without reading any
+// payload bytes.
+//
+// The pipeline has two steps (§3.1):
+//
+//	Step 1 (estimate.go): identify the video connections by SNI, detect the
+//	packets carrying chunk requests, and estimate each downloaded chunk's
+//	size from the encrypted bytes between consecutive requests. For QUIC
+//	with transport multiplexing (the SQ design), traffic is first split into
+//	groups at SP1/SP2 split points (§5.3.2).
+//
+//	Step 2 (identify.go, mux.go): find all chunk sequences whose true sizes
+//	match the estimates within the protocol's error bound k (Property 1)
+//	and whose playback indexes grow contiguously (Property 2), via a
+//	layered-graph shortest-path/DP search (§5.3).
+package core
+
+import (
+	"fmt"
+
+	"csi/internal/capture"
+	"csi/internal/media"
+	"csi/internal/packet"
+)
+
+// Protocol error bounds measured in §3.2 of the paper.
+const (
+	KHTTPS = 0.01
+	KQUIC  = 0.05
+)
+
+// Params configures an inference.
+type Params struct {
+	// K is the maximum relative size over-estimation (Property 1). Zero
+	// selects the protocol default: 1% for HTTPS, 5% for QUIC.
+	K float64
+	// MediaHost filters connections by SNI suffix (Step 1.1). Required.
+	MediaHost string
+	// Mux enables the SQ path: split-point grouping and group search. Set
+	// it when the service uses QUIC with separate audio tracks.
+	Mux bool
+	// IdleSplitSec is the SP1 idle-gap threshold. Default 2 s.
+	IdleSplitSec float64
+	// SP2WindowSec is how close two uplink requests must be to count as
+	// simultaneous (SP2). Default 0.01 s.
+	SP2WindowSec float64
+	// SP2QuietSec is the minimum downlink quiet time required before a
+	// simultaneous-request pair counts as an SP2 split point. A genuine
+	// "all downloads finished" pair follows a lull; a retransmitted
+	// request pair lands mid-burst and must not cut a chunk's bytes in
+	// half. Default 0.25 s.
+	SP2QuietSec float64
+	// RequestMinQUICPayload separates QUIC request packets from ACKs
+	// (§5.3.1). Default 80 bytes.
+	RequestMinQUICPayload int64
+	// MaxGroupRequests caps the size of a traffic group before the group
+	// is recursively subdivided at its widest internal idle gap. Default
+	// 16. Subdividing more aggressively cheapens the per-group search but
+	// risks cutting a chunk's bytes across groups, so prefer the idle-gap
+	// split points.
+	MaxGroupRequests int
+	// GroupSearchBudget caps the enumeration work (combinations
+	// materialized by the per-group meet-in-the-middle search) per traffic
+	// group. Plausible hypotheses (balanced audio/video splits) are
+	// explored first; when the budget runs out the group's candidate set
+	// is truncated, which can under-count sequences for extremely
+	// ambiguous groups but never drops the early plausible candidates.
+	// Default 4e7.
+	GroupSearchBudget int64
+	// MinResponseHeaderBytes is a conservative lower bound on the HTTP
+	// response header size hidden inside the encrypted response. The
+	// estimator subtracts it per response so that header bytes do not push
+	// small chunks past the Property-1 bound; subtracting only a lower
+	// bound keeps the estimate an over-estimate. Default 280.
+	MinResponseHeaderBytes int64
+	// MinChunkBytes, when positive, enables phantom-request filtering on
+	// QUIC: an apparent new request arriving while the current response
+	// has accumulated fewer bytes than this is treated as a retransmitted
+	// request packet (QUIC request retransmissions carry new packet
+	// numbers and cannot be discarded by SEQ the way TCP ones can).
+	// Infer sets it to half the smallest chunk in the manifest.
+	MinChunkBytes int64
+	// Display, when non-nil, supplies displayed-chunk side information
+	// used to prune candidates (§4.2).
+	Display []capture.DisplayRecord
+
+	// DisableSP2 turns off simultaneous-request split points, leaving only
+	// SP1 idle-gap splits (ablation; §5.3.2 uses both).
+	DisableSP2 bool
+}
+
+func (p Params) withDefaults(proto packet.Proto) Params {
+	if p.K == 0 {
+		if proto == packet.UDP {
+			p.K = KQUIC
+		} else {
+			p.K = KHTTPS
+		}
+	}
+	if p.IdleSplitSec == 0 {
+		p.IdleSplitSec = 2.0
+	}
+	if p.SP2WindowSec == 0 {
+		p.SP2WindowSec = 0.01
+	}
+	if p.SP2QuietSec == 0 {
+		p.SP2QuietSec = 0.25
+	}
+	if p.RequestMinQUICPayload == 0 {
+		p.RequestMinQUICPayload = 80
+	}
+	if p.MaxGroupRequests == 0 {
+		p.MaxGroupRequests = 16
+	}
+	if p.GroupSearchBudget == 0 {
+		p.GroupSearchBudget = 40_000_000
+	}
+	if p.MinResponseHeaderBytes == 0 {
+		p.MinResponseHeaderBytes = 280
+	}
+	if p.MinResponseHeaderBytes < 0 { // ablation: disable the discount
+		p.MinResponseHeaderBytes = 0
+	}
+	return p
+}
+
+// Assignment is the inferred identity of one request: a video chunk (Ref
+// valid), an audio chunk of a given track, or unexplained noise (a request
+// whose estimate matched nothing — e.g. a retransmitted request packet).
+type Assignment struct {
+	Audio      bool
+	Noise      bool
+	AudioTrack int
+	Ref        media.ChunkRef
+}
+
+// Sequence is one consistent assignment for all requests of a run.
+type Sequence struct {
+	Assignments []Assignment
+}
+
+// Inference is the result of running CSI on one trace.
+type Inference struct {
+	// Proto and Mux echo what was analyzed.
+	Proto packet.Proto
+	Mux   bool
+
+	// Requests (no-MUX) or Groups (MUX) from Step 1.
+	Requests []Request
+	Groups   []Group
+
+	// SequenceCount is the number of distinct matching chunk sequences
+	// (float64: counts can be astronomically large in ambiguous runs).
+	SequenceCount float64
+
+	// Best is one matching sequence (no-MUX only; arbitrary among the
+	// matches unless truth-guided evaluation is used).
+	Best *Sequence
+
+	// Truncated reports that the MUX group search hit its enumeration
+	// budget: SequenceCount is then a lower bound and extremely ambiguous
+	// alternatives may be missing from the candidate sets.
+	Truncated bool
+
+	// internal handles for accuracy evaluation
+	eval evaluator
+}
+
+// Request is one detected chunk request with its estimated response size
+// (Step 1.2, no-MUX designs).
+type Request struct {
+	Time     float64 `json:"time"`
+	Conn     int     `json:"conn"`
+	Est      int64   `json:"est"`
+	LastData float64 `json:"last_data"` // download-completion estimate
+}
+
+// Group is one traffic group between split points (SQ designs).
+type Group struct {
+	Start    float64   `json:"start"`
+	End      float64   `json:"end"`
+	ReqTimes []float64 `json:"req_times"`
+	Est      int64     `json:"est"` // total estimated bytes for the group
+	LastData float64   `json:"last_data"`
+}
+
+// evaluator computes best/worst accuracy against ground truth without
+// enumerating sequences; implemented per mode in identify.go / mux.go.
+type evaluator interface {
+	accuracyRange(truth []capture.TruthRecord) (best, worst float64, err error)
+}
+
+// AccuracyRange evaluates the inference against the ground-truth request
+// log: the accuracy of the best and the worst matching sequence, as
+// fractions in [0,1] (Table 4's metrics).
+func (inf *Inference) AccuracyRange(truth []capture.TruthRecord) (best, worst float64, err error) {
+	if inf.eval == nil {
+		return 0, 0, fmt.Errorf("core: inference has no evaluator")
+	}
+	return inf.eval.accuracyRange(truth)
+}
+
+// Infer runs the full CSI pipeline on a captured run.
+func Infer(man *media.Manifest, tr *capture.Trace, p Params) (*Inference, error) {
+	if man == nil {
+		return nil, fmt.Errorf("core: nil manifest")
+	}
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || len(tr.Packets) == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	if p.MediaHost == "" {
+		return nil, fmt.Errorf("core: MediaHost is required for connection filtering")
+	}
+	if p.MinChunkBytes == 0 {
+		min := int64(1) << 60
+		for ti := range man.Tracks {
+			for _, s := range man.Tracks[ti].Sizes {
+				if s < min {
+					min = s
+				}
+			}
+		}
+		p.MinChunkBytes = min / 2
+	}
+	est, err := Estimate(tr, p)
+	if err != nil {
+		return nil, err
+	}
+	return Identify(man, est, p)
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"csi/internal/capture"
+	"csi/internal/ivl"
+	"csi/internal/packet"
+)
+
+// Estimation is the output of Step 1.
+type Estimation struct {
+	Proto    packet.Proto
+	Mux      bool
+	Requests []Request // no-MUX: one per detected request, time-ordered
+	Groups   []Group   // MUX: one per traffic group
+}
+
+// Estimate performs Step 1: SNI connection filtering, request detection and
+// chunk (or group) size estimation from the encrypted packet trace.
+func Estimate(tr *capture.Trace, p Params) (*Estimation, error) {
+	ids := tr.ConnIDs(p.MediaHost)
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("core: no connections matching SNI %q", p.MediaHost)
+	}
+	byConn := tr.ByConn()
+	proto := packet.TCP
+	for _, id := range ids {
+		for _, v := range byConn[id] {
+			proto = v.Proto
+			break
+		}
+		break
+	}
+	p = p.withDefaults(proto)
+
+	if p.Mux {
+		if proto != packet.UDP {
+			return nil, fmt.Errorf("core: Mux analysis requires QUIC traffic, got %v", proto)
+		}
+		if len(ids) != 1 {
+			return nil, fmt.Errorf("core: Mux analysis expects one media connection, got %d", len(ids))
+		}
+		groups, err := estimateMux(byConn[ids[0]], p)
+		if err != nil {
+			return nil, err
+		}
+		return &Estimation{Proto: proto, Mux: true, Groups: groups}, nil
+	}
+
+	var all []Request
+	for _, id := range ids {
+		var reqs []Request
+		var err error
+		switch proto {
+		case packet.TCP:
+			reqs, err = estimateHTTPSConn(byConn[id])
+		case packet.UDP:
+			reqs, err = estimateQUICConn(byConn[id], p)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: conn %d: %w", id, err)
+		}
+		all = append(all, reqs...)
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].Time < all[b].Time })
+	if len(all) == 0 {
+		return nil, fmt.Errorf("core: no chunk requests detected")
+	}
+	// Discount the HTTP response headers hidden in each response so header
+	// bytes cannot push small chunks past the Property-1 bound.
+	for i := range all {
+		all[i].Est -= p.MinResponseHeaderBytes
+		if all[i].Est < 0 {
+			all[i].Est = 0
+		}
+	}
+	return &Estimation{Proto: proto, Requests: all}, nil
+}
+
+// estimateHTTPSConn walks one HTTPS connection. Requests are uplink packets
+// carrying TLS application-data bytes; the response size is the sum of
+// downlink TLS application-data bytes between consecutive requests, with
+// TCP retransmissions removed by SEQ-range de-duplication (§3.2).
+func estimateHTTPSConn(pkts []packet.View) ([]Request, error) {
+	var reqs []Request
+	var seen, seenUp ivl.Set
+	cur := -1
+	for _, v := range pkts {
+		if v.TLSAppBytes == 0 {
+			continue // handshake, pure ACKs
+		}
+		if v.Dir == packet.Up {
+			// Retransmitted request packets reuse their SEQ: drop them so
+			// they are not mistaken for new requests (§3.2).
+			if seenUp.Add(v.TCPSeq, v.TCPSeq+v.TCPPayload) == 0 {
+				continue
+			}
+			// A request may span multiple packets (large cookies); treat
+			// packets within the same already-open request window before
+			// any response bytes as one request. A fresh uplink app-data
+			// packet after response bytes marks a new request.
+			if cur >= 0 && reqs[cur].Est == 0 {
+				continue // continuation of the current request
+			}
+			reqs = append(reqs, Request{Time: v.Time, Conn: v.ConnID})
+			cur = len(reqs) - 1
+			continue
+		}
+		if cur < 0 {
+			continue // early server push / noise before any request
+		}
+		fresh := seen.Add(v.TCPSeq, v.TCPSeq+v.TCPPayload)
+		if fresh == 0 {
+			continue // pure retransmission
+		}
+		app := v.TLSAppBytes
+		if fresh < v.TCPPayload {
+			// Partial overlap with a retransmitted range: count the
+			// proportional share of application bytes.
+			app = app * fresh / v.TCPPayload
+		}
+		reqs[cur].Est += app
+		reqs[cur].LastData = v.Time
+	}
+	return reqs, nil
+}
+
+// estimateQUICConn walks one QUIC connection without stream multiplexing
+// (CQ): requests are uplink short-header packets larger than the ACK
+// threshold; response sizes sum the downlink short-header payloads, which
+// unavoidably include retransmitted data and control frames (§3.2).
+func estimateQUICConn(pkts []packet.View, p Params) ([]Request, error) {
+	var reqs []Request
+	cur := -1
+	for _, v := range pkts {
+		if v.QUICLong {
+			continue // handshake
+		}
+		if v.Dir == packet.Up {
+			if v.QUICPayload > p.RequestMinQUICPayload {
+				// Phantom filter: a "request" while the current response
+				// is still smaller than any chunk could be is a
+				// retransmitted request packet, not a new request.
+				if cur >= 0 && p.MinChunkBytes > 0 && reqs[cur].Est < p.MinChunkBytes {
+					continue
+				}
+				reqs = append(reqs, Request{Time: v.Time, Conn: v.ConnID})
+				cur = len(reqs) - 1
+			}
+			continue
+		}
+		if cur < 0 {
+			continue
+		}
+		reqs[cur].Est += v.QUICPayload
+		reqs[cur].LastData = v.Time
+	}
+	return reqs, nil
+}
+
+// estimateMux implements Step 1.2 for SQ: detect split points, form traffic
+// groups, and estimate each group's total size and request count (§5.3.2).
+// ev is one monitor-visible media event: an uplink request or a downlink
+// data packet.
+type ev struct {
+	t       float64
+	up      bool
+	payload int64
+}
+
+func estimateMux(pkts []packet.View, p Params) ([]Group, error) {
+	var evs []ev
+	for _, v := range pkts {
+		if v.QUICLong {
+			continue
+		}
+		if v.Dir == packet.Up {
+			if v.QUICPayload > p.RequestMinQUICPayload {
+				evs = append(evs, ev{t: v.Time, up: true})
+			}
+			continue
+		}
+		evs = append(evs, ev{t: v.Time, up: false, payload: v.QUICPayload})
+	}
+	if len(evs) == 0 {
+		return nil, fmt.Errorf("core: no media traffic on QUIC connection")
+	}
+
+	// Split points. SP1: a downlink idle gap longer than the threshold.
+	// SP2: two (or more) requests arriving back-to-back with no downlink
+	// data in between — the player had nothing outstanding (§5.3.2).
+	var cuts []int // evs index at which a new group starts
+	lastDown := -1.0
+	for i, e := range evs {
+		if e.up {
+			// SP2: a pair of simultaneous requests signals that nothing
+			// was outstanding — but only when the downlink has actually
+			// gone quiet. Retransmitted request packets also arrive as
+			// near-simultaneous pairs, mid-burst; cutting there would
+			// split a chunk's bytes across groups (§5.3.2's S1 caveat).
+			quiet := lastDown < 0 || e.t-lastDown >= p.SP2QuietSec
+			if !p.DisableSP2 && quiet && i+1 < len(evs) && evs[i+1].up && evs[i+1].t-e.t <= p.SP2WindowSec {
+				cuts = append(cuts, i)
+			}
+			continue
+		}
+		if lastDown >= 0 && e.t-lastDown >= p.IdleSplitSec {
+			cuts = append(cuts, backUpToRequests(evs, i))
+		}
+		lastDown = e.t
+	}
+	groups := buildGroups(evs, cuts)
+
+	// Recursively subdivide oversized groups at their widest internal
+	// downlink gap: keeps the exhaustive per-group search tractable even
+	// for long startup ramps.
+	var out []Group
+	for _, g := range groups {
+		out = append(out, subdivide(g, evs, p)...)
+	}
+	var final []Group
+	for _, g := range out {
+		if len(g.ReqTimes) == 0 {
+			continue // trailing pure-ACK noise
+		}
+		// Per-response HTTP header discount, as in the no-MUX path.
+		g.Est -= int64(len(g.ReqTimes)) * p.MinResponseHeaderBytes
+		if g.Est < 0 {
+			g.Est = 0
+		}
+		final = append(final, g)
+	}
+	if len(final) == 0 {
+		return nil, fmt.Errorf("core: no traffic groups with requests")
+	}
+	return final, nil
+}
+
+// backUpToRequests moves a cut earlier to include any requests that
+// immediately precede the first downlink packet after an idle gap (the
+// requests that *caused* the new burst belong to the new group).
+func backUpToRequests(evs []ev, i int) int {
+	j := i
+	for j > 0 && evs[j-1].up {
+		j--
+	}
+	return j
+}
+
+func buildGroups(evs []ev, cuts []int) []groupSpan {
+	sort.Ints(cuts)
+	var spans []groupSpan
+	start := 0
+	for _, c := range cuts {
+		if c <= start {
+			continue
+		}
+		spans = append(spans, groupSpan{from: start, to: c})
+		start = c
+	}
+	if start < len(evs) {
+		spans = append(spans, groupSpan{from: start, to: len(evs)})
+	}
+	return spans
+}
+
+type groupSpan struct{ from, to int }
+
+func subdivide(gs groupSpan, evs []ev, p Params) []Group {
+	nReq := 0
+	for i := gs.from; i < gs.to; i++ {
+		if evs[i].up {
+			nReq++
+		}
+	}
+	if nReq <= p.MaxGroupRequests || gs.to-gs.from < 4 {
+		return []Group{materialize(gs, evs)}
+	}
+	// Find the widest downlink gap strictly inside the span. Only gaps
+	// wide enough to plausibly separate chunk downloads are usable: a cut
+	// inside a continuous burst would split a chunk's bytes across groups
+	// (a structural error no size bound repairs), whereas keeping the
+	// oversized group only costs bounded search effort.
+	const minSubdivideGap = 0.25
+	bestGap, bestAt := -1.0, -1
+	lastDown := -1.0
+	for i := gs.from; i < gs.to; i++ {
+		if evs[i].up {
+			continue
+		}
+		if lastDown >= 0 {
+			if gap := evs[i].t - lastDown; gap > bestGap {
+				bestGap, bestAt = gap, i
+			}
+		}
+		lastDown = evs[i].t
+	}
+	// A narrow gap means the cut would land inside a burst and split a
+	// chunk's bytes; tolerate a moderately oversized group instead. Only
+	// truly unbounded groups (continuous low-bandwidth downloads with no
+	// pauses at all) get cut at the best gap available as a last resort.
+	if bestGap < minSubdivideGap && nReq <= 2*p.MaxGroupRequests {
+		return []Group{materialize(gs, evs)}
+	}
+	if bestAt <= gs.from || bestAt >= gs.to {
+		return []Group{materialize(gs, evs)}
+	}
+	cut := backUpToRequests(evs, bestAt)
+	if cut <= gs.from || cut >= gs.to {
+		return []Group{materialize(gs, evs)}
+	}
+	left := subdivide(groupSpan{from: gs.from, to: cut}, evs, p)
+	right := subdivide(groupSpan{from: cut, to: gs.to}, evs, p)
+	return append(left, right...)
+}
+
+func materialize(gs groupSpan, evs []ev) Group {
+	g := Group{Start: evs[gs.from].t, End: evs[gs.to-1].t}
+	for i := gs.from; i < gs.to; i++ {
+		e := evs[i]
+		if e.up {
+			g.ReqTimes = append(g.ReqTimes, e.t)
+		} else {
+			g.Est += e.payload
+			g.LastData = e.t
+		}
+	}
+	return g
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+
+	"csi/internal/capture"
+	"csi/internal/media"
+)
+
+// Identify performs Step 2 on an estimation: it finds the chunk sequences
+// consistent with Property 1 (sizes) and Property 2 (contiguous indexes).
+func Identify(man *media.Manifest, est *Estimation, p Params) (*Inference, error) {
+	p = p.withDefaults(est.Proto)
+	if est.Mux {
+		return identifyMux(man, est, p)
+	}
+	return identifyNoMux(man, est, p)
+}
+
+// displayConstraint returns the track displayed for each video index, if
+// displayed-chunk side information is available.
+func displayConstraint(display []capture.DisplayRecord) map[int]int {
+	if len(display) == 0 {
+		return nil
+	}
+	m := make(map[int]int, len(display))
+	for _, d := range display {
+		m[d.Index] = d.Track
+	}
+	return m
+}
+
+// layer holds the per-request candidates of the no-MUX graph.
+type layer struct {
+	video []media.ChunkRef
+	audio []int // audio track ids matching the estimate
+}
+
+// noMuxGraph is the layered candidate graph of §5.3.1 plus the DP values
+// needed to count sequences and bound accuracy without enumeration.
+type noMuxGraph struct {
+	man    *media.Manifest
+	layers []layer
+	reqs   []Request
+}
+
+func buildNoMuxGraph(man *media.Manifest, reqs []Request, p Params) *noMuxGraph {
+	vIdx := media.NewSizeIndex(man, media.Video)
+	disp := displayConstraint(p.Display)
+	audioSizes := map[int]int64{}
+	for _, ai := range man.AudioTracks() {
+		audioSizes[ai] = man.Tracks[ai].Sizes[0]
+	}
+	g := &noMuxGraph{man: man, layers: make([]layer, len(reqs)), reqs: reqs}
+	for i, r := range reqs {
+		lo, hi := media.CandidateRange(r.Est, p.K)
+		var vc []media.ChunkRef
+		for _, ref := range vIdx.Range(lo, hi, nil) {
+			if disp != nil {
+				if tr, ok := disp[ref.Index]; ok && tr != ref.Track {
+					continue // contradicted by the screen
+				}
+			}
+			vc = append(vc, ref)
+		}
+		var ac []int
+		for ai, sz := range audioSizes {
+			if sz >= lo && sz <= hi {
+				ac = append(ac, ai)
+			}
+		}
+		g.layers[i] = layer{video: vc, audio: ac}
+	}
+	return g
+}
+
+// dpVals carries the per-node DP state: number of distinct sequences ending
+// here and the best/worst cumulative truth matches. Weights are only
+// meaningful when truth weighting is installed; counting works always.
+type dpVals struct {
+	count float64
+	best  float64
+	worst float64
+	ok    bool
+}
+
+// runDP runs the forward DP. audioW[i] gives (min,max) per-request audio
+// match weight and the option count; videoW(i, c) the video match weight.
+// Returns per-layer per-candidate values plus the aggregated full-sequence
+// results.
+func (g *noMuxGraph) runDP(
+	audioMinW, audioMaxW []float64,
+	audioOpts []float64,
+	videoW func(i int, c media.ChunkRef) float64,
+) (total dpVals, vals [][]dpVals) {
+	n := len(g.layers)
+	vals = make([][]dpVals, n)
+	for i := range vals {
+		vals[i] = make([]dpVals, len(g.layers[i].video))
+	}
+	// audioOK[i]: request i can be skipped by a video-chunk path — either
+	// it can be assigned as audio, or it matched nothing at all (noise:
+	// e.g. a retransmitted request whose inflated estimate fits no chunk)
+	// and is stepped over rather than failing the whole inference.
+	audioOK := make([]bool, n)
+	for i := range audioOK {
+		audioOK[i] = len(g.layers[i].audio) > 0 || len(g.layers[i].video) == 0
+	}
+	// Prefix aggregates over audio-assigned runs.
+	// prefMin[i] = sum of audioMinW[0..i-1], valid only if all audioOK.
+	prefMin := make([]float64, n+1)
+	prefMax := make([]float64, n+1)
+	prefCnt := make([]float64, n+1)
+	prefOK := make([]bool, n+1)
+	prefOK[0] = true
+	prefCnt[0] = 1
+	for i := 0; i < n; i++ {
+		prefOK[i+1] = prefOK[i] && audioOK[i]
+		prefMin[i+1] = prefMin[i] + audioMinW[i]
+		prefMax[i+1] = prefMax[i] + audioMaxW[i]
+		prefCnt[i+1] = prefCnt[i] * audioOpts[i]
+	}
+	// lastHardVideo[i]: the largest j < i that is NOT audio-capable (so a
+	// path cannot skip past it); transitions into layer i may only come
+	// from j in [lastHardVideo(i), i-1].
+	// For each layer, map candidate index values for O(1) predecessor
+	// lookups by chunk index.
+	byIndex := make([]map[int][]int, n)
+	for i := range byIndex {
+		m := make(map[int][]int)
+		for ci, c := range g.layers[i].video {
+			m[c.Index] = append(m[c.Index], ci)
+		}
+		byIndex[i] = m
+	}
+
+	merge := func(v *dpVals, cnt, best, worst float64) {
+		if !v.ok {
+			*v = dpVals{ok: true, count: cnt, best: best, worst: worst}
+			return
+		}
+		v.count += cnt
+		if best > v.best {
+			v.best = best
+		}
+		if worst < v.worst {
+			v.worst = worst
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		for ci, c := range g.layers[i].video {
+			w := videoW(i, c)
+			v := dpVals{}
+			// Start here: all previous requests assigned audio.
+			if prefOK[i] {
+				merge(&v, prefCnt[i], prefMax[i]+w, prefMin[i]+w)
+			}
+			// Or continue from a previous video candidate with index-1,
+			// skipping audio-capable requests in between.
+			for j := i - 1; j >= 0; j-- {
+				// Requests j+1..i-1 must all be audio-capable.
+				if j < i-1 && !audioOK[j+1] {
+					break
+				}
+				// Aggregate audio weights over the skipped run.
+				skMin := prefMin[i] - prefMin[j+1]
+				skMax := prefMax[i] - prefMax[j+1]
+				skCnt := prefCnt[i] / prefCnt[j+1]
+				for _, pj := range byIndex[j][c.Index-1] {
+					pv := vals[j][pj]
+					if !pv.ok {
+						continue
+					}
+					merge(&v, pv.count*skCnt, pv.best+skMax+w, pv.worst+skMin+w)
+				}
+			}
+			vals[i][ci] = v
+		}
+	}
+
+	// Aggregate full sequences: a path ends at (i, c) if all requests
+	// after i are audio-capable.
+	sufOK := make([]bool, n+1)
+	sufMin := make([]float64, n+1)
+	sufMax := make([]float64, n+1)
+	sufCnt := make([]float64, n+1)
+	sufOK[n] = true
+	sufCnt[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		sufOK[i] = sufOK[i+1] && audioOK[i]
+		sufMin[i] = sufMin[i+1] + audioMinW[i]
+		sufMax[i] = sufMax[i+1] + audioMaxW[i]
+		sufCnt[i] = sufCnt[i+1] * audioOpts[i]
+	}
+	for i := 0; i < n; i++ {
+		if !sufOK[i+1] {
+			continue
+		}
+		for ci := range g.layers[i].video {
+			v := vals[i][ci]
+			if !v.ok {
+				continue
+			}
+			merge(&total, v.count*sufCnt[i+1], v.best+sufMax[i+1], v.worst+sufMin[i+1])
+		}
+	}
+	// The all-audio sequence.
+	if prefOK[n] {
+		merge(&total, prefCnt[n], prefMax[n], prefMin[n])
+	}
+	return total, vals
+}
+
+func unitAudioWeights(g *noMuxGraph) (minW, maxW, opts []float64) {
+	n := len(g.layers)
+	minW = make([]float64, n)
+	maxW = make([]float64, n)
+	opts = make([]float64, n)
+	for i := range g.layers {
+		opts[i] = float64(len(g.layers[i].audio))
+		if opts[i] == 0 {
+			opts[i] = 1 // neutral for prefix products; gated by audioOK
+		}
+	}
+	return minW, maxW, opts
+}
+
+// noMuxEval evaluates accuracy for the no-MUX graph.
+type noMuxEval struct {
+	g *noMuxGraph
+}
+
+func (e *noMuxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64, error) {
+	g := e.g
+	n := len(g.layers)
+	if len(truth) != n {
+		return 0, 0, fmt.Errorf("core: %d detected requests but %d ground-truth requests", n, len(truth))
+	}
+	minW := make([]float64, n)
+	maxW := make([]float64, n)
+	opts := make([]float64, n)
+	for i := range g.layers {
+		la := g.layers[i]
+		opts[i] = float64(len(la.audio))
+		if opts[i] == 0 {
+			opts[i] = 1
+		}
+		anyMatch, anyMiss := false, false
+		for _, at := range la.audio {
+			if truth[i].Kind == media.Audio && truth[i].Ref.Track == at {
+				anyMatch = true
+			} else {
+				anyMiss = true
+			}
+		}
+		if anyMatch {
+			maxW[i] = 1
+		}
+		if anyMatch && !anyMiss {
+			minW[i] = 1
+		}
+	}
+	videoW := func(i int, c media.ChunkRef) float64 {
+		if truth[i].Kind == media.Video && truth[i].Ref == c {
+			return 1
+		}
+		return 0
+	}
+	total, _ := g.runDP(minW, maxW, opts, videoW)
+	if !total.ok {
+		return 0, 0, fmt.Errorf("core: no consistent sequence found")
+	}
+	return total.best / float64(n), total.worst / float64(n), nil
+}
+
+func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, error) {
+	g := buildNoMuxGraph(man, est.Requests, p)
+	minW, maxW, opts := unitAudioWeights(g)
+	total, vals := g.runDP(minW, maxW, opts, func(int, media.ChunkRef) float64 { return 0 })
+	if !total.ok {
+		return nil, fmt.Errorf("core: no chunk sequence matches the %d estimated sizes (k=%.3f)", len(est.Requests), p.K)
+	}
+	inf := &Inference{
+		Proto:         est.Proto,
+		Requests:      est.Requests,
+		SequenceCount: total.count,
+		eval:          &noMuxEval{g: g},
+	}
+	inf.Best = g.extractSequence(vals)
+	return inf, nil
+}
+
+// extractSequence reconstructs one valid sequence (used when the caller
+// wants a concrete answer, e.g. for QoE analysis). It walks backward from a
+// valid terminal node choosing any reachable predecessor.
+func (g *noMuxGraph) extractSequence(vals [][]dpVals) *Sequence {
+	n := len(g.layers)
+	audioOK := func(i int) bool { return len(g.layers[i].audio) > 0 }
+	// Find a terminal node: a reachable candidate whose suffix is all
+	// audio-capable.
+	endLayer, endCand := -1, -1
+	for i := n - 1; i >= 0 && endLayer < 0; i-- {
+		for ci := range g.layers[i].video {
+			if vals[i][ci].ok {
+				endLayer, endCand = i, ci
+				break
+			}
+		}
+		if endLayer < 0 && !audioOK(i) {
+			break // cannot extend the all-audio suffix past request i
+		}
+	}
+	skipAssign := func(i int) Assignment {
+		if len(g.layers[i].audio) > 0 {
+			return Assignment{Audio: true, AudioTrack: g.layers[i].audio[0]}
+		}
+		return Assignment{Noise: true}
+	}
+	seq := &Sequence{Assignments: make([]Assignment, n)}
+	if endLayer < 0 {
+		// All-audio/noise sequence (or none; caller checked total.ok).
+		for i := 0; i < n; i++ {
+			seq.Assignments[i] = skipAssign(i)
+		}
+		return seq
+	}
+	for i := endLayer + 1; i < n; i++ {
+		seq.Assignments[i] = skipAssign(i)
+	}
+	i, ci := endLayer, endCand
+	for {
+		c := g.layers[i].video[ci]
+		seq.Assignments[i] = Assignment{Ref: c}
+		// Find a predecessor.
+		found := false
+		for j := i - 1; j >= 0 && !found; j-- {
+			if j < i-1 && !audioOK(j+1) {
+				break
+			}
+			for pj, pc := range g.layers[j].video {
+				if pc.Index == c.Index-1 && vals[j][pj].ok {
+					for k := j + 1; k < i; k++ {
+						seq.Assignments[k] = skipAssign(k)
+					}
+					i, ci = j, pj
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			// Start of the path: everything before is audio or noise.
+			for k := 0; k < i; k++ {
+				seq.Assignments[k] = skipAssign(k)
+			}
+			return seq
+		}
+	}
+}

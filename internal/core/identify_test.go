@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"csi/internal/capture"
+	"csi/internal/media"
+	"csi/internal/packet"
+)
+
+// tinyManifest builds a small manifest with explicit sizes for brute-force
+// comparison: v video tracks x n chunks with pseudo-random sizes, plus an
+// optional audio track of constant size.
+func tinyManifest(seed int64, tracks, chunks int, audio bool) *media.Manifest {
+	rng := rand.New(rand.NewSource(seed))
+	man := &media.Manifest{Name: "tiny", Host: "h", ChunkDur: 5}
+	for t := 0; t < tracks; t++ {
+		tr := media.Track{ID: t, Kind: media.Video, Bitrate: int64(100 * (t + 1))}
+		base := 10_000 * (t + 1)
+		for c := 0; c < chunks; c++ {
+			tr.Sizes = append(tr.Sizes, int64(base+rng.Intn(8000)))
+		}
+		man.Tracks = append(man.Tracks, tr)
+	}
+	if audio {
+		tr := media.Track{ID: tracks, Kind: media.Audio, Bitrate: 64}
+		for c := 0; c < chunks; c++ {
+			tr.Sizes = append(tr.Sizes, 5000)
+		}
+		man.Tracks = append(man.Tracks, tr)
+	}
+	return man
+}
+
+// bruteForce enumerates every assignment of requests to (video chunk |
+// audio | noise-skip) satisfying Properties 1+2 exactly as the DP defines
+// them, and returns count, best and worst truth-match totals.
+func bruteForce(man *media.Manifest, ests []int64, k float64, truth []capture.TruthRecord) (count, best, worst float64) {
+	n := len(ests)
+	vIdx := media.NewSizeIndex(man, media.Video)
+	type cand struct {
+		audioTracks []int
+		videos      []media.ChunkRef
+	}
+	layers := make([]cand, n)
+	for i, est := range ests {
+		lo, hi := media.CandidateRange(est, k)
+		layers[i].videos = vIdx.Range(lo, hi, nil)
+		for _, ai := range man.AudioTracks() {
+			s := man.Tracks[ai].Sizes[0]
+			if s >= lo && s <= hi {
+				layers[i].audioTracks = append(layers[i].audioTracks, ai)
+			}
+		}
+	}
+	best, worst = math.Inf(-1), math.Inf(1)
+	// assignment[i]: -1 = skip (audio with a chosen track, or noise), else
+	// index into videos.
+	var rec func(i int, lastIdx int, score float64, cnt float64)
+	rec = func(i int, lastIdx int, score float64, cnt float64) {
+		if i == n {
+			count += cnt
+			if score > best {
+				best = score
+			}
+			if score < worst {
+				worst = score
+			}
+			return
+		}
+		la := layers[i]
+		// Audio assignments.
+		for _, at := range la.audioTracks {
+			w := 0.0
+			if truth != nil && truth[i].Kind == media.Audio && truth[i].Ref.Track == at {
+				w = 1
+			}
+			rec(i+1, lastIdx, score+w, cnt)
+		}
+		// Noise skip allowed only when the layer has no candidates at all.
+		if len(la.audioTracks) == 0 && len(la.videos) == 0 {
+			rec(i+1, lastIdx, score, cnt)
+		}
+		// Video assignments.
+		for _, ref := range la.videos {
+			if lastIdx != math.MinInt32 && ref.Index != lastIdx+1 {
+				continue
+			}
+			w := 0.0
+			if truth != nil && truth[i].Kind == media.Video && truth[i].Ref == ref {
+				w = 1
+			}
+			rec(i+1, ref.Index, score+w, cnt)
+		}
+	}
+	rec(0, math.MinInt32, 0, 1)
+	if count == 0 {
+		return 0, 0, 0
+	}
+	return count, best, worst
+}
+
+// TestDPAgainstBruteForce cross-checks sequence counting and best/worst
+// accuracy of the layered DP against exhaustive enumeration on random small
+// instances.
+func TestDPAgainstBruteForce(t *testing.T) {
+	f := func(seed int64, nReq8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		man := tinyManifest(seed, 3, 6, true)
+		n := int(nReq8%5) + 2
+		k := 0.05
+
+		// Build a plausible truth sequence: contiguous video indexes with
+		// interleaved audio.
+		start := rng.Intn(4)
+		idx := start
+		var truth []capture.TruthRecord
+		var ests []int64
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				ai := man.AudioTracks()[0]
+				truth = append(truth, capture.TruthRecord{Kind: media.Audio, Ref: media.ChunkRef{Track: ai, Index: idx}})
+				s := man.Tracks[ai].Sizes[0]
+				ests = append(ests, s+int64(rng.Intn(int(float64(s)*k))))
+				continue
+			}
+			if idx >= man.NumVideoChunks() {
+				break
+			}
+			tr := man.VideoTracks()[rng.Intn(3)]
+			ref := media.ChunkRef{Track: tr, Index: idx}
+			s := man.Size(ref)
+			truth = append(truth, capture.TruthRecord{Kind: media.Video, Ref: ref})
+			ests = append(ests, s+int64(rng.Intn(int(float64(s)*k))))
+			idx++
+		}
+		if len(ests) == 0 {
+			return true
+		}
+
+		reqs := make([]Request, len(ests))
+		for i, e := range ests {
+			reqs[i] = Request{Time: float64(i), Est: e}
+		}
+		p := Params{K: k, MediaHost: "h"}.withDefaults(packet.TCP)
+		p.K = k
+		g := buildNoMuxGraph(man, reqs, p)
+		minW, maxW, opts := unitAudioWeights(g)
+		total, _ := g.runDP(minW, maxW, opts, func(int, media.ChunkRef) float64 { return 0 })
+
+		wantCount, _, _ := bruteForce(man, ests, k, nil)
+		if !total.ok {
+			return wantCount == 0
+		}
+		if math.Abs(total.count-wantCount) > 1e-6*wantCount {
+			t.Logf("count mismatch: dp=%g brute=%g (n=%d)", total.count, wantCount, len(ests))
+			return false
+		}
+
+		ev := &noMuxEval{g: g}
+		best, worst, err := ev.accuracyRange(truth)
+		if err != nil {
+			t.Logf("accuracyRange: %v", err)
+			return false
+		}
+		_, wantBest, wantWorst := bruteForce(man, ests, k, truth)
+		nn := float64(len(ests))
+		if math.Abs(best-wantBest/nn) > 1e-9 || math.Abs(worst-wantWorst/nn) > 1e-9 {
+			t.Logf("best/worst mismatch: dp=(%g,%g) brute=(%g,%g)", best*nn, worst*nn, wantBest, wantWorst)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtractSequenceIsValid checks that the concrete sequence returned by
+// the DP satisfies both properties.
+func TestExtractSequenceIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		man := tinyManifest(seed, 3, 8, true)
+		idx := rng.Intn(3)
+		var ests []int64
+		for i := 0; i < 6 && idx < 8; i++ {
+			if rng.Intn(3) == 0 {
+				ests = append(ests, man.Tracks[man.AudioTracks()[0]].Sizes[0])
+				continue
+			}
+			tr := man.VideoTracks()[rng.Intn(3)]
+			ests = append(ests, man.Size(media.ChunkRef{Track: tr, Index: idx}))
+			idx++
+		}
+		if len(ests) == 0 {
+			return true
+		}
+		reqs := make([]Request, len(ests))
+		for i, e := range ests {
+			reqs[i] = Request{Time: float64(i), Est: e}
+		}
+		inf, err := Identify(man, &Estimation{Proto: packet.TCP, Requests: reqs}, Params{K: 0.01, MediaHost: "h"})
+		if err != nil {
+			t.Logf("Identify: %v", err)
+			return false
+		}
+		last := math.MinInt32
+		for i, a := range inf.Best.Assignments {
+			if a.Audio || a.Noise {
+				continue
+			}
+			// Property 1.
+			s := man.Size(a.Ref)
+			if !(s <= ests[i] && float64(ests[i]) <= 1.01*float64(s)+1) {
+				t.Logf("property 1 violated at %d: size %d est %d", i, s, ests[i])
+				return false
+			}
+			// Property 2.
+			if last != math.MinInt32 && a.Ref.Index != last+1 {
+				t.Logf("property 2 violated at %d: %d after %d", i, a.Ref.Index, last)
+				return false
+			}
+			last = a.Ref.Index
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

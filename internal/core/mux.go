@@ -1,0 +1,631 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"csi/internal/capture"
+	"csi/internal/media"
+)
+
+// groupCand is one *collapsed* hypothesis for a traffic group: a contiguous
+// run of vLen video chunks starting at vStart plus aCount audio chunks from
+// aTrack, such that at least one per-position track assignment makes the
+// total true size match the group's estimate under Property 1.
+//
+// Individual track assignments are NOT materialized: ambiguous groups can
+// admit millions of them, but the group-chain DP only needs their number
+// (Count) and, for evaluation, the best/worst number of ground-truth
+// matches any assignment achieves (MaxW/MinW). Both are computed by
+// meet-in-the-middle over the two window halves.
+type groupCand struct {
+	vStart int
+	vLen   int
+	aTrack int // -1 when aCount == 0
+	aCount int
+	Count  float64 // number of matching track assignments
+	MaxW   float64 // max ground-truth matches over assignments (eval pass)
+	MinW   float64 // min ground-truth matches over assignments (eval pass)
+	// Wild marks a last-resort wildcard for a group no hypothesis could
+	// explain (estimation noise): the chain re-anchors after it instead of
+	// failing outright; the group's requests score zero.
+	Wild bool
+}
+
+// muxGraph carries per-group candidates and supports the group-chain DP of
+// §5.3.2 Step 2.2.
+type muxGraph struct {
+	man       *media.Manifest
+	params    Params
+	groups    []Group
+	cands     [][]groupCand
+	nReqUsed  []int // requests assumed per group (may be reduced for phantoms)
+	truncated bool
+}
+
+const lastVNone = math.MinInt32
+
+type muxState struct {
+	lastV  int
+	aTrack int
+}
+
+func identifyMux(man *media.Manifest, est *Estimation, p Params) (*Inference, error) {
+	g, err := buildMuxGraph(man, est, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	total := g.chainDP()
+	if !total.ok {
+		return nil, fmt.Errorf("core: no chunk sequence matches the %d traffic groups (k=%.3f)", len(est.Groups), p.K)
+	}
+	return &Inference{
+		Proto:         est.Proto,
+		Mux:           true,
+		Groups:        est.Groups,
+		SequenceCount: total.count,
+		Truncated:     g.truncated,
+		eval:          &muxEval{man: man, est: est, params: p, g: g},
+	}, nil
+}
+
+// truthCtx carries, for the evaluation pass, the expected track per
+// (group, window position) and the audio statistics per group.
+type truthCtx struct {
+	// videoTrack[gi] maps a chunk index to its ground-truth track within
+	// group gi; audioCount[gi][track] = audio chunks per track.
+	videoTrack []map[int]int
+	audioCount []map[int]int
+}
+
+func buildMuxGraph(man *media.Manifest, est *Estimation, p Params, tc *truthCtx) (*muxGraph, error) {
+	g := &muxGraph{man: man, params: p, groups: est.Groups}
+	disp := displayConstraint(p.Display)
+
+	// Forward start propagation: a group's video run must start right
+	// after the previous group's last video index (Property 2), so only a
+	// handful of window starts ever need the expensive exact search. The
+	// wildcard ("no video seen yet") survives only through all-audio
+	// groups.
+	states := map[int]bool{lastVNone: true}
+	for gi, grp := range est.Groups {
+		admissible := map[int]bool{}
+		wildcard := states[lastVNone]
+		for lv := range states {
+			if lv != lastVNone {
+				admissible[lv+1] = true
+			}
+		}
+		nReq := len(grp.ReqTimes)
+		cands, truncated := groupCandidates(man, grp, nReq, p, disp, tc, gi, wildcard, admissible)
+		// Fallback for phantom requests: retransmitted QUIC request
+		// packets look like extra requests (new packet numbers); retry
+		// assuming one, then two, of them were phantoms.
+		for drop := 1; len(cands) == 0 && nReq > drop && drop <= 2; drop++ {
+			cands, truncated = groupCandidates(man, grp, len(grp.ReqTimes)-drop, p, disp, tc, gi, wildcard, admissible)
+			nReq = len(grp.ReqTimes) - drop
+		}
+		if truncated {
+			g.truncated = true
+		}
+		if len(cands) == 0 {
+			cands = []groupCand{{vStart: -1, aTrack: -1, Count: 1, Wild: true}}
+		}
+		g.cands = append(g.cands, cands)
+		g.nReqUsed = append(g.nReqUsed, nReq)
+
+		next := map[int]bool{}
+		passthrough := false
+		for _, c := range cands {
+			switch {
+			case c.Wild:
+				next[lastVNone] = true
+			case c.vLen > 0:
+				next[c.vStart+c.vLen-1] = true
+			default:
+				passthrough = true
+			}
+		}
+		if passthrough {
+			for lv := range states {
+				next[lv] = true
+			}
+		}
+		states = next
+		if len(states) == 0 {
+			return nil, fmt.Errorf("core: chain broken at group %d (%.1fs..%.1fs)", gi, grp.Start, grp.End)
+		}
+	}
+	return g, nil
+}
+
+// groupCandidates enumerates collapsed hypotheses for one group.
+func groupCandidates(man *media.Manifest, grp Group, nReq int, p Params, disp map[int]int, tc *truthCtx, gi int, wildcard bool, admissible map[int]bool) ([]groupCand, bool) {
+	sumLo, sumHi := media.CandidateRange(grp.Est, p.K)
+	vTracks := man.VideoTracks()
+	nChunks := man.NumVideoChunks()
+	truncated := false
+	var out []groupCand
+
+	allowed := func(idx int) []int {
+		if disp != nil {
+			if tr, ok := disp[idx]; ok {
+				return []int{tr}
+			}
+		}
+		return vTracks
+	}
+	// wantTrack(s, pos) returns the ground-truth track of chunk index
+	// s+pos if this group really downloaded that index, else -1.
+	wantTrack := func(s, pos int) int {
+		if tc == nil {
+			return -1
+		}
+		if tr, ok := tc.videoTrack[gi][s+pos]; ok {
+			return tr
+		}
+		return -1
+	}
+
+	audioChoices := []struct {
+		track int
+		size  int64
+	}{{track: -1}}
+	for _, ai := range man.AudioTracks() {
+		audioChoices = append(audioChoices, struct {
+			track int
+			size  int64
+		}{ai, man.Tracks[ai].Sizes[0]})
+	}
+
+	// Audio/video request counts are typically balanced (both pipelines
+	// advance one chunk per playback interval): explore aCount values near
+	// nReq/2 first — ACROSS audio-track choices — so plausible hypotheses
+	// are generated before the enumeration budget runs out on implausible
+	// ones (the all-video aCount=0 case has the largest windows and must
+	// come last, not first).
+	aOrder := make([]int, 0, nReq+1)
+	for d := 0; d <= nReq; d++ {
+		if lo := nReq/2 - d; lo >= 0 {
+			aOrder = append(aOrder, lo)
+		}
+		if hi := nReq/2 + d; d > 0 && hi <= nReq {
+			aOrder = append(aOrder, hi)
+		}
+	}
+	budget := p.GroupSearchBudget
+	for _, aCount := range aOrder {
+		for _, ac := range audioChoices {
+			if (ac.track < 0) != (aCount == 0) {
+				continue
+			}
+			vLen := nReq - aCount
+			audioBytes := int64(aCount) * ac.size
+			vLo, vHi := sumLo-audioBytes, sumHi-audioBytes
+			if vHi < 0 {
+				continue
+			}
+			// Audio score is assignment-independent.
+			audioW := 0.0
+			if tc != nil && aCount > 0 {
+				if have := tc.audioCount[gi][ac.track]; have > 0 {
+					audioW = float64(min(aCount, have))
+				}
+			}
+			if vLen == 0 {
+				if vLo <= 0 && 0 <= vHi {
+					out = append(out, groupCand{vStart: -1, aTrack: ac.track, aCount: aCount,
+						Count: 1, MaxW: audioW, MinW: audioW})
+				}
+				continue
+			}
+			for s := 0; s+vLen <= nChunks; s++ {
+				if !wildcard && !admissible[s] {
+					continue
+				}
+				if budget <= 0 {
+					truncated = true
+					return out, truncated
+				}
+				cnt, maxW, minW, tr := windowStats(man, allowed, wantTrack, s, vLen, vLo, vHi, &budget)
+				truncated = truncated || tr
+				if cnt <= 0 {
+					continue
+				}
+				out = append(out, groupCand{
+					vStart: s, vLen: vLen, aTrack: ac.track, aCount: aCount,
+					Count: cnt, MaxW: maxW + audioW, MinW: minW + audioW,
+				})
+			}
+		}
+	}
+	return out, truncated
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// halfCombo is a compressed partial assignment of one window half: count
+// assignments share this (sum, matches) pair. Compression is what keeps the
+// search cheap — rate-controlled encodes repeat chunk sizes heavily, so the
+// number of DISTINCT partial sums grows far slower than the number of
+// assignments.
+type halfCombo struct {
+	sum     int64
+	matches int32
+	count   float64
+}
+
+// windowStats computes, for the vLen-chunk window at s, the number of track
+// assignments whose size sum lies in [vLo, vHi], and the max/min number of
+// ground-truth matches among them — via meet-in-the-middle over compressed
+// halves, without materializing assignments.
+func windowStats(man *media.Manifest, allowed func(int) []int, wantTrack func(s, pos int) int,
+	s, vLen int, vLo, vHi int64, budget *int64) (count, maxW, minW float64, truncated bool) {
+
+	// Quick reject via window min/max bounds.
+	var minSum, maxSum int64
+	for q := 0; q < vLen; q++ {
+		ts := allowed(s + q)
+		mn, mx := man.Tracks[ts[0]].Sizes[s+q], man.Tracks[ts[0]].Sizes[s+q]
+		for _, t := range ts[1:] {
+			sz := man.Tracks[t].Sizes[s+q]
+			if sz < mn {
+				mn = sz
+			}
+			if sz > mx {
+				mx = sz
+			}
+		}
+		minSum += mn
+		maxSum += mx
+	}
+	if minSum > vHi || maxSum < vLo {
+		return 0, 0, 0, false
+	}
+	// Skip windows whose half enumerations would exceed the cap before
+	// doing any work (the caller records the truncation).
+	halfCombosBound := 1.0
+	for q := 0; q < (vLen+1)/2; q++ {
+		halfCombosBound *= float64(len(allowed(s + q)))
+		if halfCombosBound > 2_000_000 {
+			return 0, 0, 0, true
+		}
+	}
+
+	enum := func(from, to int) []halfCombo {
+		res := []halfCombo{{count: 1}}
+		for q := from; q < to; q++ {
+			want := wantTrack(s, q)
+			ts := allowed(s + q)
+			next := make([]halfCombo, 0, len(res)*len(ts))
+			for _, c := range res {
+				for _, t := range ts {
+					m := c.matches
+					if t == want {
+						m++
+					}
+					next = append(next, halfCombo{sum: c.sum + man.Tracks[t].Sizes[s+q], matches: m, count: c.count})
+				}
+			}
+			res = next
+			*budget -= int64(len(res))
+			if len(res) > 2_000_000 || *budget <= 0 {
+				return nil
+			}
+		}
+		return res
+	}
+	// The left half is only iterated, never sorted; put the larger half
+	// there so the sort below runs on the smaller one.
+	mid := (vLen + 1) / 2
+	left := enum(0, mid)
+	right := enum(mid, vLen)
+	if left == nil || right == nil {
+		return 0, 0, 0, true
+	}
+	right = compressCombos(right)
+
+	// Bucket the right half by match count (tiny domain); each bucket is
+	// sum-sorted with prefix counts for O(log) range-count queries.
+	maxM := int32(vLen + 1)
+	type bucket struct {
+		sums []int64
+		pref []float64 // pref[i] = total count of sums[0..i)
+	}
+	buckets := make([]bucket, maxM+1)
+	anyMatches := false
+	// compressCombos sorts by (sum, matches), so per-bucket sums arrive in
+	// ascending order; accumulate counts into prefix sums directly.
+	for _, r := range right {
+		b := &buckets[r.matches]
+		b.sums = append(b.sums, r.sum)
+		total := r.count
+		if len(b.pref) > 0 {
+			total += b.pref[len(b.pref)-1]
+		}
+		b.pref = append(b.pref, total)
+		if r.matches > 0 {
+			anyMatches = true
+		}
+	}
+	countIn := func(b *bucket, lo, hi int64) float64 {
+		i := sort.Search(len(b.sums), func(i int) bool { return b.sums[i] >= lo })
+		j := sort.Search(len(b.sums), func(i int) bool { return b.sums[i] > hi })
+		if j <= i {
+			return 0
+		}
+		c := b.pref[j-1]
+		if i > 0 {
+			c -= b.pref[i-1]
+		}
+		return c
+	}
+
+	first := true
+	for _, l := range left {
+		lo, hi := vLo-l.sum, vHi-l.sum
+		if !anyMatches && l.matches == 0 {
+			// Fast path: only the count matters.
+			if n := countIn(&buckets[0], lo, hi); n > 0 {
+				count += n * l.count
+				first = false
+			}
+			continue
+		}
+		for m := int32(0); m <= maxM; m++ {
+			b := &buckets[m]
+			if len(b.sums) == 0 {
+				continue
+			}
+			n := countIn(b, lo, hi)
+			if n == 0 {
+				continue
+			}
+			count += n * l.count
+			w := float64(l.matches + m)
+			if first {
+				maxW, minW = w, w
+				first = false
+			} else {
+				if w > maxW {
+					maxW = w
+				}
+				if w < minW {
+					minW = w
+				}
+			}
+		}
+	}
+	return count, maxW, minW, false
+}
+
+// compressCombos sorts by (sum, matches) and merges equal pairs, adding
+// their counts.
+func compressCombos(cs []halfCombo) []halfCombo {
+	if len(cs) < 2 {
+		return cs
+	}
+	slices.SortFunc(cs, func(a, b halfCombo) int {
+		if a.sum != b.sum {
+			if a.sum < b.sum {
+				return -1
+			}
+			return 1
+		}
+		return int(a.matches) - int(b.matches)
+	})
+	out := cs[:1]
+	for _, c := range cs[1:] {
+		last := &out[len(out)-1]
+		if c.sum == last.sum && c.matches == last.matches {
+			last.count += c.count
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// chainDP runs the group-chain DP: states are (last video index, audio
+// track); transitions require video contiguity across groups.
+func (g *muxGraph) chainDP() dpVals {
+	type valMap map[muxState]dpVals
+	cur := valMap{{lastV: lastVNone, aTrack: -1}: {ok: true, count: 1}}
+
+	merge := func(m valMap, s muxState, cnt, best, worst float64) {
+		v, ok := m[s]
+		if !ok || !v.ok {
+			m[s] = dpVals{ok: true, count: cnt, best: best, worst: worst}
+			return
+		}
+		v.count += cnt
+		if best > v.best {
+			v.best = best
+		}
+		if worst < v.worst {
+			v.worst = worst
+		}
+		m[s] = v
+	}
+
+	for gi := range g.groups {
+		next := valMap{}
+		byStart := map[int][]*groupCand{}
+		var withVideo, noVideo []*groupCand
+		for ci := range g.cands[gi] {
+			c := &g.cands[gi][ci]
+			if c.vLen > 0 {
+				byStart[c.vStart] = append(byStart[c.vStart], c)
+				withVideo = append(withVideo, c)
+			} else {
+				noVideo = append(noVideo, c)
+			}
+		}
+		for s, v := range cur {
+			if !v.ok {
+				continue
+			}
+			var vidCands []*groupCand
+			if s.lastV == lastVNone {
+				vidCands = withVideo // first video group: any start
+			} else {
+				vidCands = byStart[s.lastV+1]
+			}
+			apply := func(c *groupCand) {
+				at := s.aTrack
+				if c.aCount > 0 {
+					if at >= 0 && at != c.aTrack {
+						return // audio track must be consistent session-wide
+					}
+					at = c.aTrack
+				}
+				lv := s.lastV
+				if c.Wild {
+					lv = lastVNone // re-anchor after an unexplained group
+				} else if c.vLen > 0 {
+					lv = c.vStart + c.vLen - 1
+				}
+				merge(next, muxState{lastV: lv, aTrack: at},
+					v.count*c.Count, v.best+c.MaxW, v.worst+c.MinW)
+			}
+			for _, c := range vidCands {
+				apply(c)
+			}
+			for _, c := range noVideo {
+				apply(c)
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return dpVals{}
+		}
+	}
+
+	var total dpVals
+	for _, v := range cur {
+		if !v.ok {
+			continue
+		}
+		if !total.ok {
+			total = v
+			continue
+		}
+		total.count += v.count
+		if v.best > total.best {
+			total.best = v.best
+		}
+		if v.worst < total.worst {
+			total.worst = v.worst
+		}
+	}
+	return total
+}
+
+// muxEval re-scores the already-built graph's candidates against ground
+// truth and reruns the chain DP. Re-scoring only existing candidates skips
+// the expensive infeasible-window scans of the initial build.
+type muxEval struct {
+	man    *media.Manifest
+	est    *Estimation
+	params Params
+	g      *muxGraph
+}
+
+func (e *muxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64, error) {
+	// Assign truth records to groups by request time (robust to phantom
+	// requests skewing per-group counts).
+	byTime := make([]capture.TruthRecord, len(truth))
+	copy(byTime, truth)
+	sort.SliceStable(byTime, func(a, b int) bool { return byTime[a].ReqTime < byTime[b].ReqTime })
+	const eps = 1e-3
+	groups := e.est.Groups
+	tc := &truthCtx{
+		videoTrack: make([]map[int]int, len(groups)),
+		audioCount: make([]map[int]int, len(groups)),
+	}
+	for gi := range groups {
+		tc.videoTrack[gi] = map[int]int{}
+		tc.audioCount[gi] = map[int]int{}
+	}
+	gi := 0
+	for _, tr := range byTime {
+		for gi+1 < len(groups) && tr.ReqTime >= groups[gi+1].Start-eps {
+			gi++
+		}
+		if tr.Kind == media.Video {
+			tc.videoTrack[gi][tr.Ref.Index] = tr.Ref.Track
+		} else {
+			tc.audioCount[gi][tr.Ref.Track]++
+		}
+	}
+
+	g := e.g.withTruthWeights(e.man, e.params, tc)
+	total := g.chainDP()
+	if !total.ok {
+		return 0, 0, fmt.Errorf("core: no consistent sequence found")
+	}
+	return total.best / float64(len(truth)), total.worst / float64(len(truth)), nil
+}
+
+// withTruthWeights returns a copy of the graph whose candidates carry
+// ground-truth match weights, recomputing window statistics only for the
+// windows that actually matched during the build.
+func (g *muxGraph) withTruthWeights(man *media.Manifest, p Params, tc *truthCtx) *muxGraph {
+	disp := displayConstraint(p.Display)
+	vTracks := man.VideoTracks()
+	allowed := func(idx int) []int {
+		if disp != nil {
+			if tr, ok := disp[idx]; ok {
+				return []int{tr}
+			}
+		}
+		return vTracks
+	}
+	out := &muxGraph{man: g.man, params: g.params, groups: g.groups, nReqUsed: g.nReqUsed, truncated: g.truncated}
+	out.cands = make([][]groupCand, len(g.cands))
+	for gi := range g.cands {
+		wantTrack := func(s, pos int) int {
+			if tr, ok := tc.videoTrack[gi][s+pos]; ok {
+				return tr
+			}
+			return -1
+		}
+		out.cands[gi] = make([]groupCand, len(g.cands[gi]))
+		for ci, c := range g.cands[gi] {
+			nc := c
+			if !c.Wild {
+				audioW := 0.0
+				if c.aCount > 0 {
+					if have := tc.audioCount[gi][c.aTrack]; have > 0 {
+						audioW = float64(min(c.aCount, have))
+					}
+				}
+				if c.vLen > 0 {
+					sumLo, sumHi := media.CandidateRange(g.groups[gi].Est, g.params.K)
+					aSize := int64(0)
+					if c.aTrack >= 0 {
+						aSize = man.Tracks[c.aTrack].Sizes[0]
+					}
+					vLo := sumLo - int64(c.aCount)*aSize
+					vHi := sumHi - int64(c.aCount)*aSize
+					evalBudget := g.params.GroupSearchBudget
+					_, maxW, minW, _ := windowStats(man, allowed, wantTrack, c.vStart, c.vLen, vLo, vHi, &evalBudget)
+					nc.MaxW = maxW + audioW
+					nc.MinW = minW + audioW
+				} else {
+					nc.MaxW = audioW
+					nc.MinW = audioW
+				}
+			}
+			out.cands[gi][ci] = nc
+		}
+	}
+	return out
+}

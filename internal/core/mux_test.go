@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"csi/internal/media"
+	"csi/internal/packet"
+)
+
+// muxBrute enumerates every per-group hypothesis (audio count/track +
+// contiguous video run with per-position tracks whose total size matches
+// the group estimate) chained under video contiguity and audio-track
+// consistency — the semantics identifyMux implements with collapsed
+// candidates and DP.
+func muxBrute(man *media.Manifest, groups []Group, k float64, tc *truthCtx) (count, best, worst float64) {
+	vTracks := man.VideoTracks()
+	nChunks := man.NumVideoChunks()
+	best, worst = math.Inf(-1), math.Inf(1)
+
+	type hyp struct {
+		vStart, vLen int
+		tracks       []int
+		aTrack       int
+		aCount       int
+	}
+	hypsOf := func(gi int) []hyp {
+		grp := groups[gi]
+		nReq := len(grp.ReqTimes)
+		sumLo, sumHi := media.CandidateRange(grp.Est, k)
+		var out []hyp
+		audioChoices := []struct {
+			track int
+			size  int64
+		}{{track: -1}}
+		for _, ai := range man.AudioTracks() {
+			audioChoices = append(audioChoices, struct {
+				track int
+				size  int64
+			}{ai, man.Tracks[ai].Sizes[0]})
+		}
+		for _, ac := range audioChoices {
+			for aCount := 0; aCount <= nReq; aCount++ {
+				if (ac.track < 0) != (aCount == 0) {
+					continue
+				}
+				vLen := nReq - aCount
+				vLo := sumLo - int64(aCount)*ac.size
+				vHi := sumHi - int64(aCount)*ac.size
+				if vHi < 0 {
+					continue
+				}
+				if vLen == 0 {
+					if vLo <= 0 && 0 <= vHi {
+						out = append(out, hyp{vStart: -1, aTrack: ac.track, aCount: aCount})
+					}
+					continue
+				}
+				for s := 0; s+vLen <= nChunks; s++ {
+					tracks := make([]int, vLen)
+					var walk func(p int, sum int64)
+					walk = func(p int, sum int64) {
+						if p == vLen {
+							if sum >= vLo && sum <= vHi {
+								cp := make([]int, vLen)
+								copy(cp, tracks)
+								out = append(out, hyp{vStart: s, vLen: vLen, tracks: cp, aTrack: ac.track, aCount: aCount})
+							}
+							return
+						}
+						for _, tr := range vTracks {
+							tracks[p] = tr
+							walk(p+1, sum+man.Tracks[tr].Sizes[s+p])
+						}
+					}
+					walk(0, 0)
+				}
+			}
+		}
+		return out
+	}
+	all := make([][]hyp, len(groups))
+	for gi := range groups {
+		all[gi] = hypsOf(gi)
+	}
+	score := func(gi int, h hyp) float64 {
+		if tc == nil {
+			return 0
+		}
+		w := 0.0
+		for p := 0; p < h.vLen; p++ {
+			if tr, ok := tc.videoTrack[gi][h.vStart+p]; ok && tr == h.tracks[p] {
+				w++
+			}
+		}
+		if h.aCount > 0 {
+			if have := tc.audioCount[gi][h.aTrack]; have > 0 {
+				if h.aCount < have {
+					w += float64(h.aCount)
+				} else {
+					w += float64(have)
+				}
+			}
+		}
+		return w
+	}
+	var rec func(gi, lastV, aTrack int, sc float64)
+	rec = func(gi, lastV, aTrack int, sc float64) {
+		if gi == len(groups) {
+			count++
+			if sc > best {
+				best = sc
+			}
+			if sc < worst {
+				worst = sc
+			}
+			return
+		}
+		for _, h := range all[gi] {
+			if h.vLen > 0 && lastV != lastVNone && h.vStart != lastV+1 {
+				continue
+			}
+			at := aTrack
+			if h.aCount > 0 {
+				if at >= 0 && at != h.aTrack {
+					continue
+				}
+				at = h.aTrack
+			}
+			lv := lastV
+			if h.vLen > 0 {
+				lv = h.vStart + h.vLen - 1
+			}
+			rec(gi+1, lv, at, sc+score(gi, h))
+		}
+	}
+	rec(0, lastVNone, -1, 0)
+	if count == 0 {
+		return 0, 0, 0
+	}
+	return count, best, worst
+}
+
+// TestMuxChainAgainstBruteForce cross-checks the collapsed-candidate DP —
+// counting, reachability and best/worst weights — against exhaustive
+// enumeration on small random instances.
+func TestMuxChainAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		man := tinyManifest(seed, 2, 6, true)
+		k := 0.05
+
+		// Build 2-3 truth groups with contiguous video and interleaved
+		// audio, deriving group estimates from true sizes.
+		nGroups := 2 + rng.Intn(2)
+		idx := rng.Intn(2)
+		aIdx := 0
+		tcx := &truthCtx{
+			videoTrack: make([]map[int]int, nGroups),
+			audioCount: make([]map[int]int, nGroups),
+		}
+		var groups []Group
+		tstamp := 0.0
+		for gi := 0; gi < nGroups; gi++ {
+			tcx.videoTrack[gi] = map[int]int{}
+			tcx.audioCount[gi] = map[int]int{}
+			g := Group{Start: tstamp}
+			nReq := 1 + rng.Intn(3)
+			var sum int64
+			for r := 0; r < nReq; r++ {
+				tstamp += 1
+				g.ReqTimes = append(g.ReqTimes, tstamp)
+				if rng.Intn(3) == 0 || idx >= man.NumVideoChunks() {
+					ai := man.AudioTracks()[0]
+					tcx.audioCount[gi][ai]++
+					sum += man.Tracks[ai].Sizes[0]
+					aIdx++
+					continue
+				}
+				tr := man.VideoTracks()[rng.Intn(2)]
+				tcx.videoTrack[gi][idx] = tr
+				sum += man.Tracks[tr].Sizes[idx]
+				idx++
+			}
+			g.End = tstamp
+			// Estimate with random over-estimation within k.
+			g.Est = sum + int64(rng.Intn(int(float64(sum)*k)))
+			groups = append(groups, g)
+			tstamp += 10
+		}
+
+		est := &Estimation{Proto: packet.UDP, Mux: true, Groups: groups}
+		p := Params{K: k, MediaHost: "h", Mux: true}.withDefaults(packet.UDP)
+		p.K = k
+
+		g, err := buildMuxGraph(man, est, p, nil)
+		if err != nil {
+			t.Logf("buildMuxGraph: %v", err)
+			return false
+		}
+		total := g.chainDP()
+		wantCount, _, _ := muxBrute(man, groups, k, nil)
+		if !total.ok {
+			return wantCount == 0
+		}
+		if math.Abs(total.count-wantCount) > 1e-6*math.Max(1, wantCount) {
+			t.Logf("count: dp=%g brute=%g", total.count, wantCount)
+			return false
+		}
+
+		gw := g.withTruthWeights(man, p, tcx)
+		wTotal := gw.chainDP()
+		_, wantBest, wantWorst := muxBrute(man, groups, k, tcx)
+		if math.Abs(wTotal.best-wantBest) > 1e-9 || math.Abs(wTotal.worst-wantWorst) > 1e-9 {
+			t.Logf("weights: dp=(%g,%g) brute=(%g,%g)", wTotal.best, wTotal.worst, wantBest, wantWorst)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"csi/internal/media"
+	"csi/internal/stats"
+	"csi/internal/uniq"
+)
+
+// Fig4 reproduces Figure 4: the per-track chunk sizes of one high-PASR
+// video (the paper plots a YouTube video with PASR 2.6). Returned as a table
+// of (index, size per track); plotting is the caller's business.
+func Fig4() (*Table, error) {
+	man, err := media.Encode(media.EncodeConfig{
+		Name: "fig4", Seed: 264, DurationSec: 360, ChunkDur: 5, TargetPASR: 2.6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 4 — chunk sizes of a PASR-2.6 video (bytes)",
+		Header: []string{"index"},
+	}
+	vts := man.VideoTracks()
+	for i := range vts {
+		t.Header = append(t.Header, fmt.Sprintf("track%d", i+1))
+	}
+	for ci := 0; ci < man.NumVideoChunks(); ci++ {
+		row := []string{fmt.Sprintf("%d", ci)}
+		for _, ti := range vts {
+			row = append(row, fmt.Sprintf("%d", man.Tracks[ti].Sizes[ci]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("median track PASR: %.2f", man.MedianPASR()))
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: the fraction of unique chunk sequences vs
+// sequence length, for encodings with PASR 1.1..2.0, at k=1% and k=5%.
+func Fig5(sc Scale) (*Table, error) {
+	lengths := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	t := &Table{
+		Title:  "Figure 5 — % unique sequences vs length (BBB-style encodes)",
+		Header: []string{"PASR", "k%"},
+		Notes: []string{
+			"Paper landmarks: PASR 1.1 => 99.9% of 3-chunk sequences unique at k=1%,",
+			"92.6% of 6-chunk sequences unique at k=5%.",
+		},
+	}
+	for _, L := range lengths {
+		t.Header = append(t.Header, fmt.Sprintf("L=%d", L))
+	}
+	for pasr := 1.1; pasr < 2.05; pasr += 0.1 {
+		man, err := media.Encode(media.EncodeConfig{
+			Name: "bbb", Seed: 1007, DurationSec: 634, ChunkDur: 5, TargetPASR: pasr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []float64{0.01, 0.05} {
+			a, err := uniq.New(man, k)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{f1(pasr), f1(100 * k)}
+			rng := stats.NewRand(int64(pasr*100) + int64(k*1000))
+			for _, L := range lengths {
+				f, err := a.UniqueFraction(L, sc.Samples, rng)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, pct(f))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Table3 reproduces Table 3: per-service chunk-size variability (PASR) and
+// the percentage of unique 1/3/6-chunk sequences at k=1% and k=5%, median
+// and 95th percentile across the sampled catalogue.
+func Table3(sc Scale) (*Table, error) {
+	t := &Table{
+		Title: "Table 3 — chunk size variability and unique sequences per service",
+		Header: []string{
+			"service", "videos", "PASR med(p95)",
+			"1ch k1%", "3ch k1%", "6ch k1%",
+			"1ch k5%", "3ch k5%", "6ch k5%",
+		},
+		Notes: []string{
+			"Cells are median(p95) across videos, in % of sequences unique.",
+		},
+	}
+	for _, svc := range media.Services {
+		n := sc.Videos
+		if n > svc.NumVideos {
+			n = svc.NumVideos
+		}
+		vids, err := svc.SampleVideos(42, n, sc.MaxVideoSec)
+		if err != nil {
+			return nil, err
+		}
+		var pasr []float64
+		u := map[string][]float64{} // "L-k" -> per-video fractions
+		for vi, man := range vids {
+			pasr = append(pasr, man.MedianPASR())
+			for _, k := range []float64{0.01, 0.05} {
+				vu, err := uniq.AnalyzeVideo(man, k, []int{1, 3, 6}, sc.Samples, int64(vi))
+				if err != nil {
+					return nil, err
+				}
+				for L, f := range vu.Unique {
+					key := fmt.Sprintf("%d-%g", L, k)
+					u[key] = append(u[key], f)
+				}
+			}
+		}
+		cell := func(L int, k float64) string {
+			xs := u[fmt.Sprintf("%d-%g", L, k)]
+			return fmt.Sprintf("%s(%s)", pct(stats.Median(xs)), pct(stats.Percentile(xs, 95)))
+		}
+		ps := stats.Summarize(pasr)
+		t.Rows = append(t.Rows, []string{
+			svc.Name, fmt.Sprintf("%d", len(vids)),
+			fmt.Sprintf("%s(%s)", f2(ps.Median), f2(ps.P95)),
+			cell(1, 0.01), cell(3, 0.01), cell(6, 0.01),
+			cell(1, 0.05), cell(3, 0.05), cell(6, 0.05),
+		})
+	}
+	return t, nil
+}

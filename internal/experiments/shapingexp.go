@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"csi/internal/abr"
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/qoe"
+	"csi/internal/session"
+	"csi/internal/shaping"
+)
+
+func huluManifest() (*media.Manifest, error) {
+	// A 7-track ladder like the Hulu asset of §7 (T1..T7).
+	ladder := []media.Rung{
+		{Bitrate: 250_000, Width: 400, Height: 224},
+		{Bitrate: 450_000, Width: 512, Height: 288},
+		{Bitrate: 650_000, Width: 640, Height: 360},
+		{Bitrate: 1_000_000, Width: 768, Height: 432},
+		{Bitrate: 1_500_000, Width: 1024, Height: 576},
+		{Bitrate: 2_400_000, Width: 1280, Height: 720},
+		{Bitrate: 3_800_000, Width: 1920, Height: 1080},
+	}
+	return media.Encode(media.EncodeConfig{
+		Name: "hulu-like", Seed: 777, DurationSec: 1800, ChunkDur: 5,
+		TargetPASR: 1.35, Ladder: ladder,
+	})
+}
+
+// Fig10 reproduces Figure 10: Hulu-like track-time distribution and data
+// usage (a,b) across token rates r with N=50 KB, and (c,d) across bucket
+// sizes N with r=1.5 Mbit/s, under conditions B1 and B2.
+func Fig10(sc Scale) (*Table, error) {
+	man, err := huluManifest()
+	if err != nil {
+		return nil, err
+	}
+	dur := sc.SessionSec
+	rates := []float64{1_000_000, 1_500_000, 2_000_000, 3_000_000, 4_000_000}
+	buckets := []int64{50_000, 200_000, 1_000_000, 5_000_000}
+
+	ratePts, err := shaping.SweepRates(man, rates, 50_000, dur, 1)
+	if err != nil {
+		return nil, err
+	}
+	bktPts, err := shaping.SweepBuckets(man, 1_500_000, buckets, dur, 100)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:  "Figure 10 — Hulu-like behaviour under token-bucket shaping",
+		Header: []string{"cond", "r Mbit/s", "N KB", "low(T1-T3)%", "mid(T4-T5)%", "high(T6-T7)%", "data MB", "stalls", "switches", "via CSI"},
+		Notes: []string{
+			"Paper: higher r and larger N shift playback time to higher tracks and raise",
+			"data usage; N=5MB roughly doubles usage vs N=50KB at r=1.5 Mbit/s.",
+		},
+	}
+	addRow := func(p shaping.Point) {
+		var low, mid, high float64
+		for tr, share := range p.TrackShare {
+			switch {
+			case tr <= 2:
+				low += share
+			case tr <= 4:
+				mid += share
+			default:
+				high += share
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Condition, f1(p.RateBps / 1e6), fmt.Sprintf("%d", p.Bucket/1000),
+			pct(low), pct(mid), pct(high),
+			f1(float64(p.DataBytes) / 1e6), fmt.Sprintf("%d", p.Stalls),
+			fmt.Sprintf("%d", p.Switches), fmt.Sprintf("%v", p.Inferred),
+		})
+	}
+	sort.SliceStable(ratePts, func(a, b int) bool {
+		if ratePts[a].Condition != ratePts[b].Condition {
+			return ratePts[a].Condition < ratePts[b].Condition
+		}
+		return ratePts[a].RateBps < ratePts[b].RateBps
+	})
+	for _, p := range ratePts {
+		addRow(p)
+	}
+	sort.SliceStable(bktPts, func(a, b int) bool {
+		if bktPts[a].Condition != bktPts[b].Condition {
+			return bktPts[a].Condition < bktPts[b].Condition
+		}
+		return bktPts[a].Bucket < bktPts[b].Bucket
+	})
+	for _, p := range bktPts {
+		addRow(p)
+	}
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11's three panels as per-chunk time series:
+// (a) stable 2 Mbit/s unshaped, (b) B2 with r=1.5 Mbit/s N=50 KB,
+// (c) B2 with r=1.5 Mbit/s N=5 MB.
+func Fig11(sc Scale) (*Table, error) {
+	man, err := huluManifest()
+	if err != nil {
+		return nil, err
+	}
+	conds, err := shaping.Conditions()
+	if err != nil {
+		return nil, err
+	}
+	dur := sc.SessionSec
+	panels := []struct {
+		name   string
+		trace  *netem.BandwidthTrace
+		shaper *netem.TokenBucketConfig
+	}{
+		{"a:2Mbps", netem.Constant(2_000_000), nil},
+		{"b:B2,N=50KB", conds["B2"], &netem.TokenBucketConfig{RateBps: 1_500_000, BucketSize: 50_000}},
+		{"c:B2,N=5MB", conds["B2"], &netem.TokenBucketConfig{RateBps: 1_500_000, BucketSize: 5_000_000}},
+	}
+	t := &Table{
+		Title:  "Figure 11 — Hulu-like time series (per video chunk, via CSI)",
+		Header: []string{"panel", "t (s)", "track", "tput Mbit/s", "buffer s"},
+		Notes: []string{
+			"Paper: (a) converges to the track at <= half of 2 Mbit/s and shows ON-OFF",
+			"after ~50 s; (c) bursts after OFF periods reach much higher instantaneous",
+			"throughput than (b), ramping the player to higher tracks, with oscillation.",
+		},
+	}
+	for _, p := range panels {
+		rows, err := shaping.TimeSeries(man, p.trace, p.shaper, dur, 5)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig11 %s: %w", p.name, err)
+		}
+		for _, r := range rows {
+			t.Rows = append(t.Rows, []string{
+				p.name, f1(r.ReqTime), fmt.Sprintf("T%d", r.Track+1),
+				f2(r.Throughput / 1e6), f1(r.BufferSec),
+			})
+		}
+	}
+	return t, nil
+}
+
+// HuluBasics reproduces the §7 characterization runs: stable bandwidths
+// 1..4 Mbit/s, reporting the converged track (expected: the highest track
+// with bitrate at most half the bandwidth) and the buffer ceiling.
+func HuluBasics(sc Scale) (*Table, error) {
+	man, err := huluManifest()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Hulu-like adaptation basics (§7)",
+		Header: []string{"bandwidth Mbit/s", "converged track", "track bitrate Mbit/s", "<= bw/2", "max buffer s"},
+		Notes:  []string{"Paper: Hulu converges to a track encoding at most half the bandwidth and pauses at ~145 s of buffer."},
+	}
+	for _, bw := range []float64{1_000_000, 2_000_000, 3_000_000, 4_000_000} {
+		cfg := session.Config{
+			Design: session.CH, Manifest: man,
+			Bandwidth: netem.Constant(bw),
+			Duration:  sc.SessionSec, Seed: 3,
+			Algo:            abr.HuluHalf{},
+			MaxBufferSec:    145,
+			ResumeBufferSec: 145,
+			StartupChunks:   3,
+		}
+		res, err := session.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Converged track: the mode of the last half of the session.
+		counts := map[int]int{}
+		for _, tr := range res.Run.Truth {
+			if tr.Kind == media.Video && tr.ReqTime > sc.SessionSec/2 {
+				counts[tr.Ref.Track]++
+			}
+		}
+		conv, best := -1, 0
+		for trk, c := range counts {
+			if c > best {
+				conv, best = trk, c
+			}
+		}
+		// Max buffer from QoE reconstruction of ground truth.
+		var chunks []qoe.Chunk
+		for _, tr := range res.Run.Truth {
+			chunks = append(chunks, qoe.Chunk{
+				ReqTime: tr.ReqTime, DoneTime: tr.DoneTime,
+				Track: tr.Ref.Track, Index: tr.Ref.Index, Size: tr.Size,
+			})
+		}
+		rep, err := qoe.Analyze(chunks, qoe.Config{ChunkDur: man.ChunkDur, Horizon: sc.SessionSec})
+		if err != nil {
+			return nil, err
+		}
+		maxBuf := 0.0
+		for _, s := range rep.Buffer {
+			if s.Buffer > maxBuf {
+				maxBuf = s.Buffer
+			}
+		}
+		br := float64(0)
+		half := "n/a"
+		if conv >= 0 {
+			br = float64(man.Tracks[conv].Bitrate)
+			half = fmt.Sprintf("%v", br <= bw/2)
+		}
+		t.Rows = append(t.Rows, []string{
+			f1(bw / 1e6), fmt.Sprintf("T%d", conv+1), f2(br / 1e6), half, f1(maxBuf),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/session"
+)
+
+// Timing reproduces §6.2.3: wall-clock time of the CSI analysis itself on a
+// 10-minute session, for a design without transport multiplexing (paper: a
+// few seconds) and with it (paper: up to around a minute). Only core.Infer
+// is timed; the streaming session is setup.
+func Timing(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:  "Analysis time (§6.2.3) — 10-minute sessions",
+		Header: []string{"design", "requests/groups", "infer time s", "paper"},
+	}
+	for _, d := range []session.Design{session.SH, session.SQ} {
+		audio := 0
+		if d.Separate() {
+			audio = 1
+		}
+		man, err := media.Encode(media.EncodeConfig{
+			Name: "timing", Seed: 55, DurationSec: 900, ChunkDur: 5,
+			TargetPASR: 1.5, AudioTracks: audio,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := session.Run(session.Config{
+			Design:   d,
+			Manifest: man,
+			Bandwidth: netem.GenerateCellular(netem.CellularConfig{
+				Seed: 3, MeanBps: 6_000_000, Variability: 0.4,
+			}),
+			Duration: 600,
+			Seed:     3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := core.Params{MediaHost: man.Host, Mux: d == session.SQ}
+		start := time.Now()
+		inf, err := core.Infer(man, res.Run.Trace, p)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: timing %v: %w", d, err)
+		}
+		units := fmt.Sprintf("%d requests", len(inf.Requests))
+		paper := "a few seconds"
+		if inf.Mux {
+			units = fmt.Sprintf("%d groups", len(inf.Groups))
+			paper = "up to ~a minute"
+		}
+		t.Rows = append(t.Rows, []string{d.String(), units, f2(elapsed), paper})
+	}
+	return t, nil
+}

@@ -1,0 +1,201 @@
+package media
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DASH MPD support (§4.1 of the paper): CSI collects per-chunk sizes from
+// the manifest before a test. VoD MPDs commonly address segments as byte
+// ranges into one file per representation (sidx-style); the range bounds
+// expose every chunk's exact size, which is all CSI needs. For manifests
+// that only carry URLs, sizes are resolved through a HEAD-request callback.
+
+// HeadFunc resolves the Content-Length of a URL (the HTTP HEAD fallback of
+// §4.1). Implementations may hit a real server or a test double.
+type HeadFunc func(url string) (int64, error)
+
+// mpd mirrors the subset of the MPEG-DASH schema the encoder emits and the
+// parser understands.
+type mpd struct {
+	XMLName                   xml.Name    `xml:"MPD"`
+	Xmlns                     string      `xml:"xmlns,attr"`
+	Type                      string      `xml:"type,attr"`
+	MediaPresentationDuration string      `xml:"mediaPresentationDuration,attr"`
+	Periods                   []mpdPeriod `xml:"Period"`
+}
+
+type mpdPeriod struct {
+	AdaptationSets []mpdAdaptationSet `xml:"AdaptationSet"`
+}
+
+type mpdAdaptationSet struct {
+	ContentType     string              `xml:"contentType,attr"`
+	Representations []mpdRepresentation `xml:"Representation"`
+}
+
+type mpdRepresentation struct {
+	ID          string          `xml:"id,attr"`
+	Bandwidth   int64           `xml:"bandwidth,attr"`
+	Width       int             `xml:"width,attr,omitempty"`
+	Height      int             `xml:"height,attr,omitempty"`
+	SegmentList *mpdSegmentList `xml:"SegmentList"`
+}
+
+type mpdSegmentList struct {
+	Duration    float64         `xml:"duration,attr"`
+	Timescale   int             `xml:"timescale,attr"`
+	SegmentURLs []mpdSegmentURL `xml:"SegmentURL"`
+}
+
+type mpdSegmentURL struct {
+	Media      string `xml:"media,attr"`
+	MediaRange string `xml:"mediaRange,attr,omitempty"`
+}
+
+// WriteMPD serializes the manifest as a DASH MPD. Each representation's
+// segments are byte ranges into a single per-track media file, so chunk
+// sizes survive the round trip without HEAD requests.
+func WriteMPD(w io.Writer, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	const timescale = 1000
+	doc := mpd{
+		Xmlns:                     "urn:mpeg:dash:schema:mpd:2011",
+		Type:                      "static",
+		MediaPresentationDuration: fmt.Sprintf("PT%.3fS", m.Duration()),
+		Periods:                   []mpdPeriod{{}},
+	}
+	sets := map[Type]*mpdAdaptationSet{}
+	order := []Type{Video, Audio}
+	for ti := range m.Tracks {
+		tr := &m.Tracks[ti]
+		set, ok := sets[tr.Kind]
+		if !ok {
+			set = &mpdAdaptationSet{ContentType: tr.Kind.String()}
+			sets[tr.Kind] = set
+		}
+		rep := mpdRepresentation{
+			ID:        fmt.Sprintf("%s-%d", tr.Kind, tr.ID),
+			Bandwidth: tr.Bitrate,
+			Width:     tr.Width,
+			Height:    tr.Height,
+			SegmentList: &mpdSegmentList{
+				Duration:  m.ChunkDur * timescale,
+				Timescale: timescale,
+			},
+		}
+		var off int64
+		for _, sz := range tr.Sizes {
+			rep.SegmentList.SegmentURLs = append(rep.SegmentList.SegmentURLs, mpdSegmentURL{
+				Media:      fmt.Sprintf("%s/%s-%d.mp4", m.Name, tr.Kind, tr.ID),
+				MediaRange: fmt.Sprintf("%d-%d", off, off+sz-1),
+			})
+			off += sz
+		}
+		set.Representations = append(set.Representations, rep)
+	}
+	for _, kind := range order {
+		if set := sets[kind]; set != nil {
+			doc.Periods[0].AdaptationSets = append(doc.Periods[0].AdaptationSets, *set)
+		}
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("media: encoding MPD: %w", err)
+	}
+	return enc.Close()
+}
+
+// ParseMPD reads a DASH MPD and reconstructs the manifest. Segment sizes
+// come from mediaRange byte ranges when present; otherwise head is invoked
+// per segment URL (the §4.1 HEAD-request fallback). head may be nil if all
+// segments carry ranges.
+func ParseMPD(r io.Reader, name, host string, head HeadFunc) (*Manifest, error) {
+	var doc mpd
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("media: parsing MPD: %w", err)
+	}
+	if len(doc.Periods) == 0 {
+		return nil, fmt.Errorf("media: MPD has no Period")
+	}
+	man := &Manifest{Name: name, Host: host}
+	for _, set := range doc.Periods[0].AdaptationSets {
+		var kind Type
+		switch set.ContentType {
+		case "video":
+			kind = Video
+		case "audio":
+			kind = Audio
+		default:
+			return nil, fmt.Errorf("media: MPD adaptation set with unknown contentType %q", set.ContentType)
+		}
+		for _, rep := range set.Representations {
+			if rep.SegmentList == nil {
+				return nil, fmt.Errorf("media: representation %s has no SegmentList", rep.ID)
+			}
+			ts := rep.SegmentList.Timescale
+			if ts == 0 {
+				ts = 1
+			}
+			dur := rep.SegmentList.Duration / float64(ts)
+			if man.ChunkDur == 0 {
+				man.ChunkDur = dur
+			}
+			tr := Track{
+				ID:      len(man.Tracks),
+				Kind:    kind,
+				Bitrate: rep.Bandwidth,
+				Width:   rep.Width,
+				Height:  rep.Height,
+			}
+			for si, seg := range rep.SegmentList.SegmentURLs {
+				sz, err := segmentSize(seg, head)
+				if err != nil {
+					return nil, fmt.Errorf("media: representation %s segment %d: %w", rep.ID, si, err)
+				}
+				tr.Sizes = append(tr.Sizes, sz)
+			}
+			man.Tracks = append(man.Tracks, tr)
+		}
+	}
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+func segmentSize(seg mpdSegmentURL, head HeadFunc) (int64, error) {
+	if seg.MediaRange != "" {
+		lo, hi, ok := parseRange(seg.MediaRange)
+		if !ok {
+			return 0, fmt.Errorf("bad mediaRange %q", seg.MediaRange)
+		}
+		return hi - lo + 1, nil
+	}
+	if head == nil {
+		return 0, fmt.Errorf("no mediaRange and no HEAD resolver for %q", seg.Media)
+	}
+	return head(seg.Media)
+}
+
+func parseRange(s string) (lo, hi int64, ok bool) {
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.ParseInt(parts[0], 10, 64)
+	hi, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil || hi < lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}

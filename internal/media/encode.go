@@ -1,0 +1,258 @@
+package media
+
+import (
+	"fmt"
+	"math"
+
+	"csi/internal/stats"
+)
+
+// Rung is one entry of an encoding ladder.
+type Rung struct {
+	Bitrate int64 // bits/s
+	Width   int
+	Height  int
+}
+
+// DefaultLadder is a six-rung 144p..1080p ladder following the per-title
+// settings the paper cites ([15], Netflix per-title encode optimization).
+// Bitrates are nominal averages per track.
+var DefaultLadder = []Rung{
+	{Bitrate: 200_000, Width: 256, Height: 144},
+	{Bitrate: 400_000, Width: 426, Height: 240},
+	{Bitrate: 750_000, Width: 640, Height: 360},
+	{Bitrate: 1_500_000, Width: 854, Height: 480},
+	{Bitrate: 3_000_000, Width: 1280, Height: 720},
+	{Bitrate: 5_500_000, Width: 1920, Height: 1080},
+}
+
+// EncodeConfig controls the synthetic VBR encoder.
+//
+// The encoder substitutes for the paper's FFmpeg three-pass encodings of the
+// Big Buck Bunny asset (§3.3): it generates a shared per-chunk scene
+// complexity signal and maps it to per-track chunk sizes such that each
+// video track's measured PASR (p95/mean chunk size) hits TargetPASR. This
+// reproduces the two statistical properties the inference depends on:
+// correlated size variation across tracks, and a controllable amount of
+// within-track size variability.
+type EncodeConfig struct {
+	Name        string
+	Host        string  // media server hostname; defaults to "media.example.com"
+	Seed        int64   // drives scene structure; same seed = same asset
+	DurationSec float64 // asset duration
+	ChunkDur    float64 // seconds per chunk (paper uses 5 s)
+	Ladder      []Rung  // video ladder; defaults to DefaultLadder
+	TargetPASR  float64 // per-track p95/mean chunk size; >= 1
+
+	// SceneLenMean is the mean scene (shot) duration in seconds for the
+	// complexity model. Defaults to 2 s, in line with shot-based encoding;
+	// longer scenes correlate neighbouring chunk sizes.
+	SceneLenMean float64
+
+	// TrackJitter adds small per-track, per-chunk lognormal noise (std in
+	// log space) so that tracks are not exact scalings of each other.
+	// Defaults to 0.003.
+	TrackJitter float64
+
+	// ChunkNoise is the per-chunk codec-granularity size noise (std in
+	// log space) within a scene complexity level. Defaults to 0.007: wide
+	// enough that aligned multi-chunk coincidences are rare, narrow enough
+	// that nearly every chunk has same-level size neighbours.
+	ChunkNoise float64
+
+	// Audio configuration. If AudioTracks > 0 the asset carries separate
+	// CBR audio tracks ("S" designs); otherwise audio is assumed muxed into
+	// the video chunks ("C" designs).
+	AudioTracks   int
+	AudioBitrates []int64 // bits/s per audio track; defaults to 128 kbit/s each
+}
+
+func (c *EncodeConfig) withDefaults() EncodeConfig {
+	cfg := *c
+	if cfg.Host == "" {
+		cfg.Host = "media.example.com"
+	}
+	if cfg.Ladder == nil {
+		cfg.Ladder = DefaultLadder
+	}
+	if cfg.ChunkDur == 0 {
+		cfg.ChunkDur = 5
+	}
+	if cfg.DurationSec == 0 {
+		cfg.DurationSec = 600
+	}
+	if cfg.TargetPASR == 0 {
+		cfg.TargetPASR = 1.5
+	}
+	if cfg.SceneLenMean == 0 {
+		cfg.SceneLenMean = 2
+	}
+	if cfg.TrackJitter == 0 {
+		cfg.TrackJitter = 0.003
+	}
+	if cfg.ChunkNoise == 0 {
+		cfg.ChunkNoise = 0.007
+	}
+	if cfg.AudioTracks > 0 && cfg.AudioBitrates == nil {
+		cfg.AudioBitrates = make([]int64, cfg.AudioTracks)
+		for i := range cfg.AudioBitrates {
+			cfg.AudioBitrates[i] = 128_000 + int64(i)*64_000
+		}
+	}
+	return cfg
+}
+
+// Encode produces a Manifest from the configuration. It is deterministic in
+// cfg (including Seed).
+func Encode(c EncodeConfig) (*Manifest, error) {
+	cfg := c.withDefaults()
+	if cfg.TargetPASR < 1 {
+		return nil, fmt.Errorf("media: TargetPASR %.3f < 1", cfg.TargetPASR)
+	}
+	n := int(math.Ceil(cfg.DurationSec / cfg.ChunkDur))
+	if n < 2 {
+		return nil, fmt.Errorf("media: asset too short: %d chunks", n)
+	}
+	rng := stats.NewRand(cfg.Seed)
+
+	// Scene complexity signal. Rate control makes chunk sizes cluster:
+	// scenes of comparable complexity encode to nearly the same size, so
+	// almost every chunk has a size twin somewhere in the video — the
+	// reason single chunks are essentially never size-unique (§3.3) even
+	// though short *sequences* are. We model this with a ladder of
+	// equally-likely discrete complexity levels per scene plus
+	// codec-granularity per-chunk noise: every chunk has several same-level
+	// twins (singles never unique), while aligned multi-chunk level
+	// patterns rarely repeat (sequences quickly unique).
+	const complexityLevels = 10
+	g := make([]float64, n)   // quantized complexity per chunk (scaled by sigma later)
+	eps := make([]float64, n) // per-chunk codec noise in log-size space
+	scenesPerChunk := cfg.ChunkDur / cfg.SceneLenMean
+	pos := 0
+	for pos < n {
+		sceneChunks := 1 + int(rng.ExpFloat64()/scenesPerChunk)
+		level := -1 + 2*float64(rng.Intn(complexityLevels))/float64(complexityLevels-1)
+		for i := 0; i < sceneChunks && pos < n; i++ {
+			g[pos] = level
+			eps[pos] = cfg.ChunkNoise * rng.NormFloat64()
+			pos++
+		}
+	}
+
+	// Per-track multiplicative jitter, fixed ahead of the sigma search so
+	// the search is monotone in sigma.
+	jitter := make([][]float64, len(cfg.Ladder))
+	for ti := range cfg.Ladder {
+		jitter[ti] = make([]float64, n)
+		for i := range jitter[ti] {
+			jitter[ti][i] = math.Exp(cfg.TrackJitter * rng.NormFloat64())
+		}
+	}
+
+	// Relative sizes follow exp(sigma*g + eps). Find sigma such that the
+	// realized PASR matches TargetPASR; PASR rises with sigma on the
+	// branch we search, so bisection converges.
+	relOf := func(sigma float64) ([]float64, float64) {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Exp(sigma*g[i] + eps[i])
+		}
+		return xs, stats.Percentile(xs, 95) / stats.Mean(xs)
+	}
+	pasrOf := func(sigma float64) float64 {
+		_, p := relOf(sigma)
+		return p
+	}
+	// PASR(sigma) rises from 1 at sigma=0, peaks (for a lognormal the peak
+	// is ~3.9 near sigma=1.6) and then falls as the mean becomes dominated
+	// by extreme outliers. Locate the peak by golden-section search, then
+	// bisect on the rising branch. Targets above the achievable peak clamp
+	// to the peak; the paper's encodings top out at PASR 2.6, well below it.
+	var sigma float64
+	if cfg.TargetPASR > 1.0001 {
+		lo, hi := 0.0, 4.0
+		for iter := 0; iter < 80; iter++ {
+			m1 := lo + (hi-lo)*0.382
+			m2 := lo + (hi-lo)*0.618
+			if pasrOf(m1) < pasrOf(m2) {
+				lo = m1
+			} else {
+				hi = m2
+			}
+		}
+		peak := (lo + hi) / 2
+		if pasrOf(peak) <= cfg.TargetPASR {
+			sigma = peak
+		} else {
+			lo, hi = 0.0, peak
+			for iter := 0; iter < 60; iter++ {
+				mid := (lo + hi) / 2
+				if pasrOf(mid) < cfg.TargetPASR {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			sigma = (lo + hi) / 2
+		}
+	}
+
+	man := &Manifest{Name: cfg.Name, Host: cfg.Host, ChunkDur: cfg.ChunkDur}
+	rel, _ := relOf(sigma)
+	relMean := stats.Mean(rel)
+
+	for ti, rung := range cfg.Ladder {
+		tr := Track{
+			ID:      len(man.Tracks),
+			Kind:    Video,
+			Bitrate: rung.Bitrate,
+			Width:   rung.Width,
+			Height:  rung.Height,
+			Sizes:   make([]int64, n),
+		}
+		// Normalize so the track's mean size matches its nominal bitrate.
+		base := float64(rung.Bitrate) / 8 * cfg.ChunkDur / relMean
+		for i := 0; i < n; i++ {
+			sz := base * rel[i] * jitter[ti][i]
+			if sz < 1024 {
+				sz = 1024
+			}
+			tr.Sizes[i] = int64(sz)
+		}
+		man.Tracks = append(man.Tracks, tr)
+	}
+
+	// CBR audio: every chunk in a track has the identical size, matching
+	// the paper's observation that services encode audio as near-constant
+	// size chunks (S_ak in Table 1).
+	audioChunks := n
+	for ai := 0; ai < cfg.AudioTracks; ai++ {
+		br := cfg.AudioBitrates[ai]
+		size := br / 8 * int64(cfg.ChunkDur)
+		tr := Track{
+			ID:      len(man.Tracks),
+			Kind:    Audio,
+			Bitrate: br,
+			Sizes:   make([]int64, audioChunks),
+		}
+		for i := range tr.Sizes {
+			tr.Sizes[i] = size
+		}
+		man.Tracks = append(man.Tracks, tr)
+	}
+
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// MustEncode is Encode that panics on error; for tests and examples with
+// known-good configurations.
+func MustEncode(c EncodeConfig) *Manifest {
+	m, err := Encode(c)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,215 @@
+package media
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestMPDRoundTrip(t *testing.T) {
+	m := MustEncode(EncodeConfig{Name: "rt", Seed: 8, DurationSec: 120, ChunkDur: 5, TargetPASR: 1.4, AudioTracks: 1})
+	var buf bytes.Buffer
+	if err := WriteMPD(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMPD(&buf, m.Name, m.Host, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ChunkDur != m.ChunkDur || len(got.Tracks) != len(m.Tracks) {
+		t.Fatalf("round trip shape: %+v", got)
+	}
+	for ti := range m.Tracks {
+		if got.Tracks[ti].Kind != m.Tracks[ti].Kind || got.Tracks[ti].Bitrate != m.Tracks[ti].Bitrate {
+			t.Fatalf("track %d metadata mismatch", ti)
+		}
+		for ci := range m.Tracks[ti].Sizes {
+			if got.Tracks[ti].Sizes[ci] != m.Tracks[ti].Sizes[ci] {
+				t.Fatalf("size mismatch at (%d,%d): %d vs %d", ti, ci,
+					got.Tracks[ti].Sizes[ci], m.Tracks[ti].Sizes[ci])
+			}
+		}
+	}
+}
+
+func TestMPDHeadFallback(t *testing.T) {
+	// An MPD without mediaRange requires the HEAD resolver.
+	mpdText := `<?xml version="1.0"?>
+<MPD xmlns="urn:mpeg:dash:schema:mpd:2011" type="static" mediaPresentationDuration="PT10S">
+ <Period>
+  <AdaptationSet contentType="video">
+   <Representation id="video-0" bandwidth="100000">
+    <SegmentList duration="5000" timescale="1000">
+     <SegmentURL media="seg0.mp4"></SegmentURL>
+     <SegmentURL media="seg1.mp4"></SegmentURL>
+    </SegmentList>
+   </Representation>
+  </AdaptationSet>
+ </Period>
+</MPD>`
+	sizes := map[string]int64{"seg0.mp4": 11111, "seg1.mp4": 22222}
+	var heads int
+	head := func(url string) (int64, error) {
+		heads++
+		sz, ok := sizes[url]
+		if !ok {
+			return 0, fmt.Errorf("404 %s", url)
+		}
+		return sz, nil
+	}
+	man, err := ParseMPD(strings.NewReader(mpdText), "x", "h", head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heads != 2 {
+		t.Fatalf("HEAD requests = %d, want 2", heads)
+	}
+	if man.Tracks[0].Sizes[0] != 11111 || man.Tracks[0].Sizes[1] != 22222 {
+		t.Fatalf("sizes = %v", man.Tracks[0].Sizes)
+	}
+	// Without the resolver it must fail, not guess.
+	if _, err := ParseMPD(strings.NewReader(mpdText), "x", "h", nil); err == nil {
+		t.Fatal("rangeless MPD without HEAD resolver accepted")
+	}
+}
+
+func TestMPDRejectsGarbage(t *testing.T) {
+	if _, err := ParseMPD(strings.NewReader("<MPD></MPD>"), "x", "h", nil); err == nil {
+		t.Fatal("period-less MPD accepted")
+	}
+	if _, err := ParseMPD(strings.NewReader("not xml"), "x", "h", nil); err == nil {
+		t.Fatal("non-XML accepted")
+	}
+}
+
+func TestHLSRoundTrip(t *testing.T) {
+	m := MustEncode(EncodeConfig{Name: "hls", Seed: 9, DurationSec: 100, ChunkDur: 5, TargetPASR: 1.3, AudioTracks: 1})
+	var master bytes.Buffer
+	if err := WriteHLSMaster(&master, m); err != nil {
+		t.Fatal(err)
+	}
+	medias := map[string]string{}
+	for ti := range m.Tracks {
+		var mb bytes.Buffer
+		if err := WriteHLSMedia(&mb, m, ti); err != nil {
+			t.Fatal(err)
+		}
+		medias[fmt.Sprintf("%s-%d.m3u8", m.Tracks[ti].Kind, m.Tracks[ti].ID)] = mb.String()
+	}
+	fetch := func(uri string) (io.Reader, error) {
+		body, ok := medias[uri]
+		if !ok {
+			return nil, fmt.Errorf("404 %s", uri)
+		}
+		return strings.NewReader(body), nil
+	}
+	got, err := FetchHLS(&master, m.Name, m.Host, fetch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tracks) != len(m.Tracks) {
+		t.Fatalf("tracks = %d, want %d", len(got.Tracks), len(m.Tracks))
+	}
+	// Order differs (audio listed first in master); compare as multisets
+	// keyed by (kind, bitrate approximation via sizes).
+	match := 0
+	for gi := range got.Tracks {
+		for ti := range m.Tracks {
+			if got.Tracks[gi].Kind != m.Tracks[ti].Kind || len(got.Tracks[gi].Sizes) != len(m.Tracks[ti].Sizes) {
+				continue
+			}
+			same := true
+			for ci := range m.Tracks[ti].Sizes {
+				if got.Tracks[gi].Sizes[ci] != m.Tracks[ti].Sizes[ci] {
+					same = false
+					break
+				}
+			}
+			if same {
+				match++
+				break
+			}
+		}
+	}
+	if match != len(m.Tracks) {
+		t.Fatalf("only %d/%d tracks round-tripped by sizes", match, len(m.Tracks))
+	}
+	if got.ChunkDur != m.ChunkDur {
+		t.Fatalf("chunk dur = %g", got.ChunkDur)
+	}
+}
+
+func TestParseHLSMasterAttrs(t *testing.T) {
+	master := `#EXTM3U
+#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID="aud",NAME="audio-6",URI="audio-6.m3u8"
+#EXT-X-STREAM-INF:BANDWIDTH=1500000,RESOLUTION=854x480,AUDIO="aud"
+video-3.m3u8
+`
+	entries, err := ParseHLSMaster(strings.NewReader(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	v := entries[1]
+	if v.Kind != Video || v.Bitrate != 1500000 || v.Width != 854 || v.Height != 480 || v.URI != "video-3.m3u8" {
+		t.Fatalf("video entry = %+v", v)
+	}
+	if entries[0].Kind != Audio || entries[0].URI != "audio-6.m3u8" {
+		t.Fatalf("audio entry = %+v", entries[0])
+	}
+}
+
+func TestParseHLSMediaByteranges(t *testing.T) {
+	pl := `#EXTM3U
+#EXT-X-VERSION:4
+#EXT-X-TARGETDURATION:5
+#EXTINF:5.000,
+#EXT-X-BYTERANGE:1000@0
+video-0.mp4
+#EXTINF:5.000,
+#EXT-X-BYTERANGE:2000@1000
+video-0.mp4
+#EXT-X-ENDLIST
+`
+	got, err := ParseHLSMedia(strings.NewReader(pl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ChunkDur != 5 || len(got.Sizes) != 2 || got.Sizes[0] != 1000 || got.Sizes[1] != 2000 {
+		t.Fatalf("parsed = %+v", got)
+	}
+}
+
+func TestParseHLSRejectsGarbage(t *testing.T) {
+	if _, err := ParseHLSMaster(strings.NewReader("not a playlist")); err == nil {
+		t.Fatal("non-playlist accepted as master")
+	}
+	if _, err := ParseHLSMedia(strings.NewReader("#EXTM3U\n")); err == nil {
+		t.Fatal("segment-less media playlist accepted")
+	}
+	bad := "#EXTM3U\n#EXTINF:abc,\nseg.mp4\n"
+	if _, err := ParseHLSMedia(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad EXTINF accepted")
+	}
+}
+
+func TestFetchHLSHeadFallback(t *testing.T) {
+	master := "#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=1000\nv.m3u8\n"
+	media := "#EXTM3U\n#EXTINF:5.0,\nseg0.mp4\n#EXTINF:5.0,\nseg1.mp4\n#EXT-X-ENDLIST\n"
+	fetch := func(uri string) (io.Reader, error) { return strings.NewReader(media), nil }
+	head := func(url string) (int64, error) { return 4242, nil }
+	man, err := FetchHLS(strings.NewReader(master), "x", "h", fetch, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Tracks[0].Sizes[0] != 4242 {
+		t.Fatalf("sizes = %v", man.Tracks[0].Sizes)
+	}
+	if _, err := FetchHLS(strings.NewReader(master), "x", "h", fetch, nil); err == nil {
+		t.Fatal("rangeless playlist without HEAD resolver accepted")
+	}
+}

@@ -1,0 +1,275 @@
+package media
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// HLS playlist support (§4.1): master playlists enumerate the ladder;
+// media playlists use EXT-X-BYTERANGE addressing, so every chunk's exact
+// size is visible in the manifest — the "manifests directly specify the
+// sizes of all chunks" case of the paper.
+
+// WriteHLSMaster serializes the master playlist. Media playlist URIs follow
+// the pattern <kind>-<trackID>.m3u8.
+func WriteHLSMaster(w io.Writer, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#EXTM3U")
+	fmt.Fprintln(bw, "#EXT-X-VERSION:4")
+	audioGroup := ""
+	for ti := range m.Tracks {
+		tr := &m.Tracks[ti]
+		if tr.Kind != Audio {
+			continue
+		}
+		if audioGroup == "" {
+			audioGroup = "aud"
+		}
+		fmt.Fprintf(bw, "#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID=%q,NAME=%q,URI=%q\n",
+			audioGroup, fmt.Sprintf("audio-%d", tr.ID), fmt.Sprintf("audio-%d.m3u8", tr.ID))
+	}
+	for ti := range m.Tracks {
+		tr := &m.Tracks[ti]
+		if tr.Kind != Video {
+			continue
+		}
+		attrs := fmt.Sprintf("BANDWIDTH=%d", tr.Bitrate)
+		if tr.Width > 0 {
+			attrs += fmt.Sprintf(",RESOLUTION=%dx%d", tr.Width, tr.Height)
+		}
+		if audioGroup != "" {
+			attrs += fmt.Sprintf(",AUDIO=%q", audioGroup)
+		}
+		fmt.Fprintf(bw, "#EXT-X-STREAM-INF:%s\n", attrs)
+		fmt.Fprintf(bw, "video-%d.m3u8\n", tr.ID)
+	}
+	return bw.Flush()
+}
+
+// WriteHLSMedia serializes one track's media playlist with byte-range
+// segment addressing into a single per-track file.
+func WriteHLSMedia(w io.Writer, m *Manifest, trackID int) error {
+	if trackID < 0 || trackID >= len(m.Tracks) {
+		return fmt.Errorf("media: track %d out of range", trackID)
+	}
+	tr := &m.Tracks[trackID]
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#EXTM3U")
+	fmt.Fprintln(bw, "#EXT-X-VERSION:4")
+	fmt.Fprintf(bw, "#EXT-X-TARGETDURATION:%d\n", int(m.ChunkDur+0.999))
+	fmt.Fprintln(bw, "#EXT-X-PLAYLIST-TYPE:VOD")
+	var off int64
+	for _, sz := range tr.Sizes {
+		fmt.Fprintf(bw, "#EXTINF:%.3f,\n", m.ChunkDur)
+		fmt.Fprintf(bw, "#EXT-X-BYTERANGE:%d@%d\n", sz, off)
+		fmt.Fprintf(bw, "%s-%d.mp4\n", tr.Kind, tr.ID)
+		off += sz
+	}
+	fmt.Fprintln(bw, "#EXT-X-ENDLIST")
+	return bw.Flush()
+}
+
+// HLSMasterEntry is one entry of a parsed master playlist.
+type HLSMasterEntry struct {
+	Kind    Type
+	URI     string
+	Bitrate int64
+	Width   int
+	Height  int
+}
+
+// ParseHLSMaster extracts the ladder entries from a master playlist.
+func ParseHLSMaster(r io.Reader) ([]HLSMasterEntry, error) {
+	sc := bufio.NewScanner(r)
+	var out []HLSMasterEntry
+	var pending *HLSMasterEntry
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if first {
+			if line != "#EXTM3U" {
+				return nil, fmt.Errorf("media: not an HLS playlist (missing #EXTM3U)")
+			}
+			first = false
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "#EXT-X-MEDIA:"):
+			attrs := parseHLSAttrs(strings.TrimPrefix(line, "#EXT-X-MEDIA:"))
+			if attrs["TYPE"] != "AUDIO" {
+				continue
+			}
+			out = append(out, HLSMasterEntry{Kind: Audio, URI: attrs["URI"]})
+		case strings.HasPrefix(line, "#EXT-X-STREAM-INF:"):
+			attrs := parseHLSAttrs(strings.TrimPrefix(line, "#EXT-X-STREAM-INF:"))
+			e := HLSMasterEntry{Kind: Video}
+			if v := attrs["BANDWIDTH"]; v != "" {
+				bw, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("media: bad BANDWIDTH %q", v)
+				}
+				e.Bitrate = bw
+			}
+			if v := attrs["RESOLUTION"]; v != "" {
+				if _, err := fmt.Sscanf(v, "%dx%d", &e.Width, &e.Height); err != nil {
+					return nil, fmt.Errorf("media: bad RESOLUTION %q", v)
+				}
+			}
+			pending = &e
+		case line != "" && !strings.HasPrefix(line, "#"):
+			if pending != nil {
+				pending.URI = line
+				out = append(out, *pending)
+				pending = nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("media: master playlist has no variants")
+	}
+	return out, nil
+}
+
+// HLSMediaPlaylist is one parsed media playlist.
+type HLSMediaPlaylist struct {
+	ChunkDur float64
+	Sizes    []int64 // from EXT-X-BYTERANGE; -1 when absent
+	URIs     []string
+}
+
+// ParseHLSMedia extracts segment durations and sizes from a media playlist.
+func ParseHLSMedia(r io.Reader) (*HLSMediaPlaylist, error) {
+	sc := bufio.NewScanner(r)
+	pl := &HLSMediaPlaylist{}
+	first := true
+	var pendingDur float64
+	var pendingSize int64 = -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if first {
+			if line != "#EXTM3U" {
+				return nil, fmt.Errorf("media: not an HLS playlist (missing #EXTM3U)")
+			}
+			first = false
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "#EXTINF:"):
+			v := strings.TrimSuffix(strings.TrimPrefix(line, "#EXTINF:"), ",")
+			v = strings.SplitN(v, ",", 2)[0]
+			d, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("media: bad EXTINF %q", line)
+			}
+			pendingDur = d
+		case strings.HasPrefix(line, "#EXT-X-BYTERANGE:"):
+			spec := strings.TrimPrefix(line, "#EXT-X-BYTERANGE:")
+			parts := strings.SplitN(spec, "@", 2)
+			n, err := strconv.ParseInt(parts[0], 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("media: bad EXT-X-BYTERANGE %q", line)
+			}
+			pendingSize = n
+		case line != "" && !strings.HasPrefix(line, "#"):
+			if pendingDur > 0 && pl.ChunkDur == 0 {
+				pl.ChunkDur = pendingDur
+			}
+			pl.Sizes = append(pl.Sizes, pendingSize)
+			pl.URIs = append(pl.URIs, line)
+			pendingSize = -1
+			pendingDur = 0
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pl.Sizes) == 0 {
+		return nil, fmt.Errorf("media: media playlist has no segments")
+	}
+	return pl, nil
+}
+
+// FetchHLS assembles a Manifest by parsing a master playlist and the media
+// playlists it references. fetch loads a playlist by URI; head resolves
+// sizes for segments without byte ranges (may be nil when ranges cover
+// everything).
+func FetchHLS(master io.Reader, name, host string, fetch func(uri string) (io.Reader, error), head HeadFunc) (*Manifest, error) {
+	entries, err := ParseHLSMaster(master)
+	if err != nil {
+		return nil, err
+	}
+	man := &Manifest{Name: name, Host: host}
+	for _, e := range entries {
+		rd, err := fetch(e.URI)
+		if err != nil {
+			return nil, fmt.Errorf("media: fetching %q: %w", e.URI, err)
+		}
+		pl, err := ParseHLSMedia(rd)
+		if err != nil {
+			return nil, fmt.Errorf("media: parsing %q: %w", e.URI, err)
+		}
+		if man.ChunkDur == 0 {
+			man.ChunkDur = pl.ChunkDur
+		}
+		tr := Track{ID: len(man.Tracks), Kind: e.Kind, Bitrate: e.Bitrate, Width: e.Width, Height: e.Height}
+		for si, sz := range pl.Sizes {
+			if sz < 0 {
+				if head == nil {
+					return nil, fmt.Errorf("media: %q segment %d has no byte range and no HEAD resolver", e.URI, si)
+				}
+				sz, err = head(pl.URIs[si])
+				if err != nil {
+					return nil, fmt.Errorf("media: HEAD %q: %w", pl.URIs[si], err)
+				}
+			}
+			tr.Sizes = append(tr.Sizes, sz)
+		}
+		man.Tracks = append(man.Tracks, tr)
+	}
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// parseHLSAttrs parses the KEY=VALUE[,...] attribute list syntax, honouring
+// quoted strings.
+func parseHLSAttrs(s string) map[string]string {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			break
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		var val string
+		if strings.HasPrefix(s, `"`) {
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				break
+			}
+			val = s[1 : 1+end]
+			s = s[2+end:]
+			s = strings.TrimPrefix(s, ",")
+		} else {
+			end := strings.IndexByte(s, ',')
+			if end < 0 {
+				val, s = s, ""
+			} else {
+				val, s = s[:end], s[end+1:]
+			}
+		}
+		out[key] = val
+	}
+	return out
+}

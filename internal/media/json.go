@@ -1,0 +1,53 @@
+package media
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes the manifest to w.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("media: encoding manifest %q: %w", m.Name, err)
+	}
+	return nil
+}
+
+// SaveJSON writes the manifest to the named file.
+func (m *Manifest) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("media: saving manifest: %w", err)
+	}
+	defer f.Close()
+	if err := m.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSON parses a manifest from r and validates it.
+func ReadJSON(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("media: decoding manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadJSON reads a manifest from the named file.
+func LoadJSON(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("media: loading manifest: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,53 @@
+package media
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoadManifestFile opens a manifest in any supported on-disk format,
+// selected by extension:
+//
+//	.json          — the native format
+//	.mpd           — DASH MPD (segment sizes from mediaRange byte ranges)
+//	.m3u8          — HLS master playlist; media playlists are loaded from
+//	                 sibling files referenced by relative URI
+//
+// host is the media SNI hostname to associate (ignored for .json, which
+// embeds it).
+func LoadManifestFile(path, host string) (*Manifest, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".json":
+		return LoadJSON(path)
+	case ".mpd":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("media: opening MPD: %w", err)
+		}
+		defer f.Close()
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		return ParseMPD(f, name, host, nil)
+	case ".m3u8":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("media: opening playlist: %w", err)
+		}
+		defer f.Close()
+		dir := filepath.Dir(path)
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		return FetchHLS(f, name, host, func(uri string) (io.Reader, error) {
+			// Clean with a leading slash to confine lookups to dir.
+			data, err := os.ReadFile(filepath.Join(dir, filepath.Clean("/"+uri)))
+			if err != nil {
+				return nil, err
+			}
+			return bytes.NewReader(data), nil
+		}, nil)
+	default:
+		return nil, fmt.Errorf("media: unknown manifest format %q", filepath.Ext(path))
+	}
+}

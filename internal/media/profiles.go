@@ -1,0 +1,111 @@
+package media
+
+import (
+	"fmt"
+	"math"
+
+	"csi/internal/stats"
+)
+
+// ServiceProfile models the encoding practice of one commercial streaming
+// service, substituting for the paper's measurements of real catalogues
+// (Table 3). A profile is a distribution over per-video encodings: target
+// PASR is drawn per video from a shifted lognormal calibrated so that the
+// median and 95th-percentile PASR across the catalogue match the values
+// reported in Table 3.
+type ServiceProfile struct {
+	Name string
+
+	// Catalogue PASR distribution: PASR = 1 + exp(mu + sigma*Z).
+	PASRMedian float64 // Table 3 median
+	PASRP95    float64 // Table 3 95th percentile
+
+	NumVideos     int     // catalogue size measured in the paper
+	ChunkDur      float64 // seconds
+	DurationMean  float64 // mean video duration, seconds
+	DurationJit   float64 // +/- uniform jitter fraction on duration
+	Ladder        []Rung
+	SeparateAudio bool
+	SceneLenMean  float64
+}
+
+// Services are the six streaming services of Table 3 with their measured
+// catalogue sizes and PASR statistics.
+var Services = []ServiceProfile{
+	{Name: "Amazon", PASRMedian: 1.35, PASRP95: 1.47, NumVideos: 111, ChunkDur: 6, DurationMean: 2400, SeparateAudio: true},
+	{Name: "Facebook", PASRMedian: 1.73, PASRP95: 2.19, NumVideos: 144, ChunkDur: 5, DurationMean: 420, SeparateAudio: true},
+	{Name: "HBO Now", PASRMedian: 1.57, PASRP95: 1.58, NumVideos: 30, ChunkDur: 6, DurationMean: 3000, SeparateAudio: true},
+	{Name: "Hulu", PASRMedian: 1.35, PASRP95: 1.44, NumVideos: 30, ChunkDur: 5, DurationMean: 1800, SeparateAudio: true},
+	{Name: "Vudu", PASRMedian: 1.52, PASRP95: 1.58, NumVideos: 46, ChunkDur: 6, DurationMean: 4200, SeparateAudio: true},
+	{Name: "Youtube", PASRMedian: 1.94, PASRP95: 2.13, NumVideos: 1920, ChunkDur: 5, DurationMean: 600, SeparateAudio: true},
+}
+
+// ServiceByName returns the profile with the given name.
+func ServiceByName(name string) (ServiceProfile, error) {
+	for _, s := range Services {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return ServiceProfile{}, fmt.Errorf("media: unknown service %q", name)
+}
+
+// samplePASR draws one per-video target PASR from the calibrated shifted
+// lognormal.
+func (p ServiceProfile) samplePASR(rng interface{ NormFloat64() float64 }) float64 {
+	mu := math.Log(p.PASRMedian - 1)
+	sigma := 0.0
+	if p.PASRP95 > p.PASRMedian {
+		sigma = (math.Log(p.PASRP95-1) - mu) / 1.6449 // z at p95
+	}
+	v := 1 + math.Exp(mu+sigma*rng.NormFloat64())
+	if v < 1.02 {
+		v = 1.02
+	}
+	if v > 3.5 {
+		v = 3.5
+	}
+	return v
+}
+
+// SampleVideos generates n synthetic videos drawn from the service's
+// encoding distribution. If n <= 0 the catalogue size from Table 3 is used.
+// maxDur, when positive, caps video duration (useful to bound analysis cost
+// at reduced scale).
+func (p ServiceProfile) SampleVideos(seed int64, n int, maxDur float64) ([]*Manifest, error) {
+	if n <= 0 {
+		n = p.NumVideos
+	}
+	rng := stats.NewRand(seed ^ int64(len(p.Name))<<32 ^ int64(p.NumVideos))
+	out := make([]*Manifest, 0, n)
+	for i := 0; i < n; i++ {
+		dur := p.DurationMean
+		jit := p.DurationJit
+		if jit == 0 {
+			jit = 0.5
+		}
+		dur *= 1 + jit*(2*rng.Float64()-1)
+		if maxDur > 0 && dur > maxDur {
+			dur = maxDur
+		}
+		audio := 0
+		if p.SeparateAudio {
+			audio = 1
+		}
+		m, err := Encode(EncodeConfig{
+			Name:         fmt.Sprintf("%s-video-%03d", p.Name, i),
+			Seed:         rng.Int63(),
+			DurationSec:  dur,
+			ChunkDur:     p.ChunkDur,
+			Ladder:       p.Ladder,
+			TargetPASR:   p.samplePASR(rng),
+			SceneLenMean: p.SceneLenMean,
+			AudioTracks:  audio,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("media: sampling %s video %d: %w", p.Name, i, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+// Package netem emulates the network path between the mobile device and the
+// server: bandwidth-limited links driven by piecewise-constant rate traces,
+// drop-tail queues, random loss, propagation delay, and a token-bucket
+// shaper equivalent to the Linux tc-tbf module used in the paper (§7).
+package netem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"csi/internal/stats"
+)
+
+// TracePoint is one step of a piecewise-constant bandwidth trace.
+type TracePoint struct {
+	T    float64 // start time, seconds
+	Rate float64 // bytes per second from T onwards
+}
+
+// BandwidthTrace is a piecewise-constant available-bandwidth profile. The
+// last segment extends forever. Rates are stored in bytes/s; constructors
+// accept bits/s because network configs are conventionally quoted that way.
+type BandwidthTrace struct {
+	pts []TracePoint
+}
+
+// NewTrace builds a trace from explicit points (bytes/s). Points must start
+// at or before 0 and be strictly increasing in time.
+func NewTrace(pts []TracePoint) (*BandwidthTrace, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("netem: empty bandwidth trace")
+	}
+	if pts[0].T > 0 {
+		return nil, fmt.Errorf("netem: trace must cover t=0 (first point at %g)", pts[0].T)
+	}
+	for i := range pts {
+		if pts[i].Rate <= 0 {
+			return nil, fmt.Errorf("netem: non-positive rate %g at point %d", pts[i].Rate, i)
+		}
+		if i > 0 && pts[i].T <= pts[i-1].T {
+			return nil, fmt.Errorf("netem: trace times not increasing at point %d", i)
+		}
+	}
+	cp := make([]TracePoint, len(pts))
+	copy(cp, pts)
+	return &BandwidthTrace{pts: cp}, nil
+}
+
+// Constant returns a trace with a fixed rate given in bits/s.
+func Constant(bps float64) *BandwidthTrace {
+	return &BandwidthTrace{pts: []TracePoint{{T: 0, Rate: bps / 8}}}
+}
+
+// Steps builds a trace from (duration, bits/s) pairs that repeat cyclically
+// up to horizon seconds, after which the last rate holds forever.
+func Steps(horizon float64, steps ...[2]float64) (*BandwidthTrace, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("netem: no steps")
+	}
+	var pts []TracePoint
+	t := 0.0
+	for t < horizon {
+		for _, s := range steps {
+			if t >= horizon {
+				break
+			}
+			pts = append(pts, TracePoint{T: t, Rate: s[1] / 8})
+			t += s[0]
+		}
+	}
+	return NewTrace(pts)
+}
+
+// RateAt returns the rate (bytes/s) at time t.
+func (tr *BandwidthTrace) RateAt(t float64) float64 {
+	i := sort.Search(len(tr.pts), func(i int) bool { return tr.pts[i].T > t })
+	if i == 0 {
+		return tr.pts[0].Rate
+	}
+	return tr.pts[i-1].Rate
+}
+
+// FinishTime returns the time at which a transmission of the given number
+// of bytes completes if it starts at start and always uses the full trace
+// rate.
+func (tr *BandwidthTrace) FinishTime(start float64, bytes float64) float64 {
+	if bytes <= 0 {
+		return start
+	}
+	t := start
+	i := sort.Search(len(tr.pts), func(i int) bool { return tr.pts[i].T > t })
+	if i > 0 {
+		i--
+	}
+	remaining := bytes
+	for {
+		rate := tr.pts[i].Rate
+		segEnd := math.Inf(1)
+		if i+1 < len(tr.pts) {
+			segEnd = tr.pts[i+1].T
+		}
+		dur := segEnd - t
+		capBytes := rate * dur
+		if remaining <= capBytes {
+			return t + remaining/rate
+		}
+		remaining -= capBytes
+		t = segEnd
+		i++
+	}
+}
+
+// MeanRate returns the average rate in bits/s over [0, horizon].
+func (tr *BandwidthTrace) MeanRate(horizon float64) float64 {
+	if horizon <= 0 {
+		return tr.pts[0].Rate * 8
+	}
+	total := 0.0
+	for i := range tr.pts {
+		start := tr.pts[i].T
+		if start >= horizon {
+			break
+		}
+		end := horizon
+		if i+1 < len(tr.pts) && tr.pts[i+1].T < horizon {
+			end = tr.pts[i+1].T
+		}
+		total += tr.pts[i].Rate * (end - start)
+	}
+	return total / horizon * 8
+}
+
+// CellularConfig parameterizes the synthetic cellular bandwidth trace
+// generator that substitutes for the paper's 30 recorded commercial-network
+// traces (§6.2): a mean level with lognormal multiplicative variation,
+// piecewise-constant over intervals of a few seconds, optionally with deep
+// fades.
+type CellularConfig struct {
+	Seed        int64
+	MeanBps     float64 // mean bandwidth, bits/s
+	Variability float64 // std of log-rate; 0 = constant
+	StepSec     float64 // mean step duration; default 4 s
+	Horizon     float64 // generated length; default 700 s
+	FadeProb    float64 // probability a step is a deep fade to 10% of mean
+	FloorBps    float64 // minimum rate; default 64 kbit/s
+}
+
+// GenerateCellular produces one synthetic cellular bandwidth trace.
+func GenerateCellular(cfg CellularConfig) *BandwidthTrace {
+	if cfg.StepSec == 0 {
+		cfg.StepSec = 4
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 700
+	}
+	if cfg.FloorBps == 0 {
+		cfg.FloorBps = 64_000
+	}
+	rng := stats.NewRand(cfg.Seed)
+	var pts []TracePoint
+	t := 0.0
+	// AR(1) in log space keeps successive steps correlated like real
+	// signal-strength driven cellular throughput.
+	x := 0.0
+	const rho = 0.7
+	for t < cfg.Horizon {
+		x = rho*x + math.Sqrt(1-rho*rho)*rng.NormFloat64()
+		rate := cfg.MeanBps * math.Exp(cfg.Variability*x-cfg.Variability*cfg.Variability/2)
+		if cfg.FadeProb > 0 && rng.Float64() < cfg.FadeProb {
+			rate = cfg.MeanBps * 0.1
+		}
+		if rate < cfg.FloorBps {
+			rate = cfg.FloorBps
+		}
+		pts = append(pts, TracePoint{T: t, Rate: rate / 8})
+		t += cfg.StepSec * (0.5 + rng.Float64())
+	}
+	tr, err := NewTrace(pts)
+	if err != nil {
+		panic("netem: internal generator error: " + err.Error())
+	}
+	return tr
+}
+
+// CellularTraceSet reproduces the paper's evaluation corpus: n traces with
+// mean bandwidths log-spaced between 600 kbit/s and 40 Mbit/s and a spread
+// of variability levels (§6.2 tests 30 such traces).
+func CellularTraceSet(seed int64, n int) []*BandwidthTrace {
+	if n <= 0 {
+		n = 30
+	}
+	out := make([]*BandwidthTrace, 0, n)
+	loMean, hiMean := 600_000.0, 40_000_000.0
+	variabilities := []float64{0.05, 0.25, 0.5}
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(max(n-1, 1))
+		mean := loMean * math.Pow(hiMean/loMean, frac)
+		v := variabilities[i%len(variabilities)]
+		fade := 0.0
+		if i%5 == 4 {
+			fade = 0.05
+		}
+		out = append(out, GenerateCellular(CellularConfig{
+			Seed:        seed + int64(i)*7919,
+			MeanBps:     mean,
+			Variability: v,
+			FadeProb:    fade,
+		}))
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"csi/internal/packet"
+	"csi/internal/sim"
+)
+
+func TestConstantTrace(t *testing.T) {
+	tr := Constant(8_000_000) // 1 MB/s
+	if got := tr.RateAt(0); got != 1_000_000 {
+		t.Fatalf("RateAt(0) = %g, want 1e6", got)
+	}
+	if got := tr.FinishTime(2, 500_000); got != 2.5 {
+		t.Fatalf("FinishTime = %g, want 2.5", got)
+	}
+}
+
+func TestStepTraceIntegration(t *testing.T) {
+	// 1 s at 1 MB/s then 1 s at 0.5 MB/s, repeating.
+	tr, err := Steps(100, [2]float64{1, 8_000_000}, [2]float64{1, 4_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transmit 1.25 MB starting at t=0: 1.0 MB in first second, 0.25 MB
+	// takes 0.5 s at 0.5 MB/s.
+	if got := tr.FinishTime(0, 1_250_000); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("FinishTime = %g, want 1.5", got)
+	}
+	if got := tr.RateAt(1.5); got != 500_000 {
+		t.Fatalf("RateAt(1.5) = %g, want 5e5", got)
+	}
+	mean := tr.MeanRate(2)
+	if math.Abs(mean-6_000_000) > 1 {
+		t.Fatalf("MeanRate = %g, want 6e6", mean)
+	}
+}
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := NewTrace([]TracePoint{{T: 1, Rate: 1}}); err == nil {
+		t.Fatal("trace not covering t=0 accepted")
+	}
+	if _, err := NewTrace([]TracePoint{{T: 0, Rate: 0}}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewTrace([]TracePoint{{T: 0, Rate: 1}, {T: 0, Rate: 2}}); err == nil {
+		t.Fatal("non-increasing times accepted")
+	}
+}
+
+// Property: FinishTime is additive — transmitting a+b bytes equals
+// transmitting a then b back-to-back.
+func TestFinishTimeAdditiveProperty(t *testing.T) {
+	tr := GenerateCellular(CellularConfig{Seed: 5, MeanBps: 4_000_000, Variability: 0.5})
+	f := func(a, b uint32, s uint16) bool {
+		start := float64(s) / 100
+		x, y := float64(a%1_000_000), float64(b%1_000_000)
+		t1 := tr.FinishTime(start, x+y)
+		t2 := tr.FinishTime(tr.FinishTime(start, x), y)
+		return math.Abs(t1-t2) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellularTraceSet(t *testing.T) {
+	set := CellularTraceSet(1, 30)
+	if len(set) != 30 {
+		t.Fatalf("len = %d, want 30", len(set))
+	}
+	lo := set[0].MeanRate(600)
+	hi := set[29].MeanRate(600)
+	if lo < 300_000 || lo > 1_500_000 {
+		t.Errorf("lowest trace mean %g out of expected band", lo)
+	}
+	if hi < 20_000_000 || hi > 80_000_000 {
+		t.Errorf("highest trace mean %g out of expected band", hi)
+	}
+}
+
+func mkPkt(size int64) *packet.Packet {
+	return &packet.Packet{Size: size, View: packet.View{Dir: packet.Down}}
+}
+
+func TestLinkSerializationAndDelay(t *testing.T) {
+	eng := sim.New()
+	var deliveredAt []float64
+	l := NewLink(eng, LinkConfig{Trace: Constant(8_000_000), Delay: 0.01}, func(p *packet.Packet) {
+		deliveredAt = append(deliveredAt, eng.Now())
+	})
+	// Two 100 KB packets sent at t=0: serialization 0.1 s each, FIFO.
+	l.Send(mkPkt(100_000))
+	l.Send(mkPkt(100_000))
+	eng.Run()
+	if len(deliveredAt) != 2 {
+		t.Fatalf("delivered %d, want 2", len(deliveredAt))
+	}
+	if math.Abs(deliveredAt[0]-0.11) > 1e-9 || math.Abs(deliveredAt[1]-0.21) > 1e-9 {
+		t.Fatalf("delivery times %v, want [0.11 0.21]", deliveredAt)
+	}
+}
+
+func TestLinkQueueDrop(t *testing.T) {
+	eng := sim.New()
+	delivered := 0
+	l := NewLink(eng, LinkConfig{Trace: Constant(8_000_000), QueueCap: 150_000}, func(p *packet.Packet) {
+		delivered++
+	})
+	l.Send(mkPkt(100_000))
+	l.Send(mkPkt(100_000)) // exceeds 150 KB queue -> dropped
+	eng.Run()
+	if delivered != 1 || l.QueueDrops != 1 {
+		t.Fatalf("delivered=%d drops=%d, want 1/1", delivered, l.QueueDrops)
+	}
+}
+
+func TestLinkRandomLossAfterTap(t *testing.T) {
+	eng := sim.New()
+	tapped, delivered := 0, 0
+	l := NewLink(eng, LinkConfig{Trace: Constant(80_000_000), LossProb: 0.5, Seed: 9, QueueCap: 1 << 20}, func(p *packet.Packet) {
+		delivered++
+	})
+	l.SetTap(func(v packet.View, now float64) { tapped++ })
+	for i := 0; i < 200; i++ {
+		l.Send(mkPkt(1400))
+	}
+	eng.Run()
+	if tapped != 200 {
+		t.Fatalf("tap saw %d packets, want all 200 (loss must be after capture)", tapped)
+	}
+	if delivered == 200 || delivered == 0 {
+		t.Fatalf("delivered = %d, want some random losses", delivered)
+	}
+	if int64(delivered)+l.RandomDrops != 200 {
+		t.Fatalf("delivered+drops = %d, want 200", int64(delivered)+l.RandomDrops)
+	}
+}
+
+func TestLinkTapTimestamp(t *testing.T) {
+	eng := sim.New()
+	var tapTime float64 = -1
+	l := NewLink(eng, LinkConfig{Trace: Constant(8_000_000)}, func(p *packet.Packet) {})
+	l.SetTap(func(v packet.View, now float64) { tapTime = v.Time })
+	eng.At(3, func() { l.Send(mkPkt(1000)) })
+	eng.Run()
+	if tapTime != 3 {
+		t.Fatalf("tap time = %g, want 3 (capture at ingress)", tapTime)
+	}
+}
+
+func TestTokenBucketRateLimits(t *testing.T) {
+	eng := sim.New()
+	var times []float64
+	sink := senderFunc(func(p *packet.Packet) { times = append(times, eng.Now()) })
+	tb, err := NewTokenBucket(eng, TokenBucketConfig{RateBps: 800_000, BucketSize: 10_000}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket starts full with 10 KB. Send 5 x 10 KB packets at t=0:
+	// first passes immediately, rest at 0.1 s spacing (100 KB/s rate).
+	for i := 0; i < 5; i++ {
+		tb.Send(mkPkt(10_000))
+	}
+	eng.Run()
+	if len(times) != 5 {
+		t.Fatalf("passed %d, want 5", len(times))
+	}
+	want := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	for i := range want {
+		if math.Abs(times[i]-want[i]) > 1e-9 {
+			t.Fatalf("departures %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTokenBucketBurstAfterIdle(t *testing.T) {
+	eng := sim.New()
+	var times []float64
+	sink := senderFunc(func(p *packet.Packet) { times = append(times, eng.Now()) })
+	tb, err := NewTokenBucket(eng, TokenBucketConfig{RateBps: 800_000, BucketSize: 50_000}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the bucket, then idle 1 s (refills 100 KB/s*1s but capped at
+	// 50 KB), then burst: 5 x 10 KB should all pass instantly.
+	tb.Send(mkPkt(50_000))
+	eng.At(1.0, func() {
+		for i := 0; i < 5; i++ {
+			tb.Send(mkPkt(10_000))
+		}
+	})
+	eng.Run()
+	for _, tt := range times[1:] {
+		if math.Abs(tt-1.0) > 1e-9 {
+			t.Fatalf("burst after idle not instantaneous: %v", times)
+		}
+	}
+}
+
+// Property: the token bucket never exceeds its configured long-term rate:
+// bytes passed in any window starting at 0 <= N + r*t.
+func TestTokenBucketConservationProperty(t *testing.T) {
+	f := func(sizes []uint16, rateK uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		rate := float64(rateK%50+1) * 100_000 // bits/s
+		eng := sim.New()
+		var passedBytes int64
+		var lastT float64
+		sink := senderFunc(func(p *packet.Packet) {
+			passedBytes += p.Size
+			lastT = eng.Now()
+			// Invariant at every departure instant.
+			budget := 20_000 + rate/8*eng.Now() + 1e-6
+			if float64(passedBytes) > budget {
+				t.Fatalf("bucket overdraft: %d bytes by t=%g (budget %g)", passedBytes, eng.Now(), budget)
+			}
+		})
+		tb, err := NewTokenBucket(eng, TokenBucketConfig{RateBps: rate, BucketSize: 20_000}, sink)
+		if err != nil {
+			return false
+		}
+		for _, s := range sizes {
+			tb.Send(mkPkt(int64(s%1400) + 1))
+		}
+		eng.Run()
+		_ = lastT
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenBucketRejectsBadConfig(t *testing.T) {
+	eng := sim.New()
+	if _, err := NewTokenBucket(eng, TokenBucketConfig{RateBps: 0, BucketSize: 1}, nil); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1, BucketSize: 0}, nil); err == nil {
+		t.Fatal("zero bucket accepted")
+	}
+}
+
+type senderFunc func(p *packet.Packet)
+
+func (f senderFunc) Send(p *packet.Packet) { f(p) }

@@ -1,0 +1,92 @@
+package netem
+
+import (
+	"fmt"
+
+	"csi/internal/packet"
+	"csi/internal/sim"
+)
+
+// TokenBucketConfig mirrors the two key parameters of the tc-tbf shaper the
+// paper studies in §7: token generation rate r and bucket size N.
+type TokenBucketConfig struct {
+	RateBps    float64 // token generation rate r, bits/s
+	BucketSize int64   // bucket size N, bytes
+}
+
+// TokenBucket is a byte-granularity token-bucket traffic shaper. Tokens
+// accumulate at RateBps up to BucketSize; a packet departs as soon as enough
+// tokens are available, in FIFO order. Packets are never dropped — they are
+// delayed, matching tc-tbf with a large queue.
+//
+// The bucket starts full, so after idle (OFF) periods the shaper permits a
+// burst of up to BucketSize bytes at line rate — the effect §7 shows drives
+// the Hulu player to ramp to higher tracks with a large N.
+type TokenBucket struct {
+	eng    *sim.Engine
+	cfg    TokenBucketConfig
+	out    packet.Sender
+	tokens float64 // tokens available as of tLast
+	tLast  float64 // time of last departure computation
+
+	Shaped  int64
+	Delayed int64
+}
+
+// NewTokenBucket creates a shaper forwarding into out.
+func NewTokenBucket(eng *sim.Engine, cfg TokenBucketConfig, out packet.Sender) (*TokenBucket, error) {
+	if cfg.RateBps <= 0 {
+		return nil, fmt.Errorf("netem: token bucket rate must be positive, got %g", cfg.RateBps)
+	}
+	if cfg.BucketSize <= 0 {
+		return nil, fmt.Errorf("netem: token bucket size must be positive, got %d", cfg.BucketSize)
+	}
+	return &TokenBucket{
+		eng:    eng,
+		cfg:    cfg,
+		out:    out,
+		tokens: float64(cfg.BucketSize),
+	}, nil
+}
+
+// Send implements packet.Sender. Departure times are computed analytically
+// along a virtual token timeline, so the shaper needs no internal queue
+// structure: FIFO order is preserved because each packet's departure is no
+// earlier than the previous one's.
+func (tb *TokenBucket) Send(p *packet.Packet) {
+	now := tb.eng.Now()
+	rate := tb.cfg.RateBps / 8 // bytes/s
+	t0 := now
+	if tb.tLast > t0 {
+		t0 = tb.tLast // FIFO: cannot depart before the previous packet
+	}
+	avail := tb.tokens + (t0-tb.tLast)*rate
+	burst := float64(tb.cfg.BucketSize)
+	if avail > burst {
+		avail = burst
+	}
+	need := float64(p.Size)
+	if need > burst {
+		// A packet larger than the bucket would stall forever in real tbf;
+		// let it pass at rate cost instead (MTU packets never hit this with
+		// sane configs, but robustness beats a livelock).
+		burst = need
+	}
+	var depart float64
+	if avail >= need {
+		depart = t0
+		tb.tokens = avail - need
+	} else {
+		wait := (need - avail) / rate
+		depart = t0 + wait
+		tb.tokens = 0
+	}
+	tb.tLast = depart
+	tb.Shaped++
+	if depart <= now {
+		tb.out.Send(p)
+		return
+	}
+	tb.Delayed++
+	tb.eng.At(depart, func() { tb.out.Send(p) })
+}

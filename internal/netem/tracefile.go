@@ -1,0 +1,118 @@
+package netem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bandwidth trace file I/O. The paper replays bandwidth traces recorded in
+// commercial mobile networks (§6.2); these helpers load and store such
+// traces in two common formats:
+//
+//   - CSV: "seconds,bits_per_second" per line ('#' comments allowed) —
+//     piecewise-constant steps;
+//   - mahimahi: one packet-delivery-opportunity timestamp in milliseconds
+//     per line (the format of the mahimahi link shell and of several public
+//     cellular trace datasets), converted to per-second rates.
+
+// ParseTraceCSV reads a piecewise-constant trace from "sec,bps" lines.
+func ParseTraceCSV(r io.Reader) (*BandwidthTrace, error) {
+	sc := bufio.NewScanner(r)
+	var pts []TracePoint
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("netem: trace line %d: want \"sec,bps\", got %q", lineNo, line)
+		}
+		t, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		bps, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("netem: trace line %d: bad numbers in %q", lineNo, line)
+		}
+		pts = append(pts, TracePoint{T: t, Rate: bps / 8})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewTrace(pts)
+}
+
+// WriteTraceCSV samples the trace every step seconds up to horizon and
+// writes "sec,bps" lines.
+func WriteTraceCSV(w io.Writer, tr *BandwidthTrace, horizon, step float64) error {
+	if step <= 0 || horizon <= 0 {
+		return fmt.Errorf("netem: horizon and step must be positive")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# seconds,bits_per_second")
+	for t := 0.0; t < horizon; t += step {
+		fmt.Fprintf(bw, "%.3f,%.0f\n", t, tr.RateAt(t)*8)
+	}
+	return bw.Flush()
+}
+
+// ParseMahimahi reads a mahimahi packet-delivery trace (millisecond
+// timestamps, one delivery opportunity of mtu bytes per line) and converts
+// it to a per-second piecewise-constant rate trace. The trace is treated as
+// non-repeating; the final second's rate extends forever.
+func ParseMahimahi(r io.Reader, mtu int64) (*BandwidthTrace, error) {
+	if mtu <= 0 {
+		mtu = 1500
+	}
+	sc := bufio.NewScanner(r)
+	perSecond := map[int]int64{}
+	maxSec := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ms, err := strconv.ParseInt(line, 10, 64)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("netem: mahimahi line %d: bad timestamp %q", lineNo, line)
+		}
+		sec := int(ms / 1000)
+		perSecond[sec] += mtu
+		if sec > maxSec {
+			maxSec = sec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(perSecond) == 0 {
+		return nil, fmt.Errorf("netem: empty mahimahi trace")
+	}
+	secs := make([]int, 0, len(perSecond))
+	for s := range perSecond {
+		secs = append(secs, s)
+	}
+	sort.Ints(secs)
+	var pts []TracePoint
+	last := -1
+	for _, s := range secs {
+		// Seconds with no delivery opportunities get a tiny floor rate so
+		// the link drains eventually rather than dividing by zero.
+		for gap := last + 1; gap < s; gap++ {
+			pts = append(pts, TracePoint{T: float64(gap), Rate: 1000})
+		}
+		pts = append(pts, TracePoint{T: float64(s), Rate: float64(perSecond[s])})
+		last = s
+	}
+	if pts[0].T > 0 {
+		pts = append([]TracePoint{{T: 0, Rate: pts[0].Rate}}, pts...)
+	}
+	return NewTrace(pts)
+}

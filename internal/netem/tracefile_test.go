@@ -1,0 +1,120 @@
+package netem
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceCSV(t *testing.T) {
+	in := `# comment
+0,8000000
+10, 4000000
+
+20,1000000
+`
+	tr, err := ParseTraceCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.RateAt(5) * 8; got != 8_000_000 {
+		t.Fatalf("RateAt(5) = %g", got)
+	}
+	if got := tr.RateAt(15) * 8; got != 4_000_000 {
+		t.Fatalf("RateAt(15) = %g", got)
+	}
+	if got := tr.RateAt(100) * 8; got != 1_000_000 {
+		t.Fatalf("RateAt(100) = %g (last rate must extend)", got)
+	}
+}
+
+func TestParseTraceCSVRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"abc,123\n", "1;2\n", "5,\n", ""} {
+		if _, err := ParseTraceCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	// Must start at or before t=0.
+	if _, err := ParseTraceCSV(strings.NewReader("5,100\n")); err == nil {
+		t.Error("trace starting after 0 accepted")
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	orig := GenerateCellular(CellularConfig{Seed: 3, MeanBps: 5_000_000, Variability: 0.5, Horizon: 60})
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, orig, 60, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 0.5 s sampling can misplace rate steps by up to one sample, so
+	// compare the delivered-bytes integral rather than pointwise rates.
+	a, b := orig.MeanRate(59), got.MeanRate(59)
+	if math.Abs(a-b)/a > 0.05 {
+		t.Errorf("mean rate after round trip: %g vs %g", a, b)
+	}
+	// Pointwise agreement at exact sample instants (just after the sample).
+	for ts := 0.01; ts < 59; ts += 6.5 {
+		x, y := orig.RateAt(ts), got.RateAt(ts)
+		if math.Abs(x-y)/x > 0.75 {
+			t.Errorf("rate at %g wildly off: %g vs %g", ts, x, y)
+		}
+	}
+}
+
+func TestParseMahimahi(t *testing.T) {
+	// 8 deliveries in second 0, 4 in second 1, none in 2, 2 in second 3.
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		fmt := 100 + i*100
+		b.WriteString(itoa(fmt) + "\n")
+	}
+	for i := 0; i < 4; i++ {
+		b.WriteString(itoa(1100+i*200) + "\n")
+	}
+	b.WriteString("3100\n3600\n")
+	tr, err := ParseMahimahi(strings.NewReader(b.String()), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.RateAt(0.5); got != 8*1500 {
+		t.Fatalf("second 0 rate = %g, want %d", got, 8*1500)
+	}
+	if got := tr.RateAt(1.5); got != 4*1500 {
+		t.Fatalf("second 1 rate = %g", got)
+	}
+	if got := tr.RateAt(2.5); got != 1000 {
+		t.Fatalf("idle second rate = %g, want floor 1000", got)
+	}
+	if got := tr.RateAt(3.5); got != 2*1500 {
+		t.Fatalf("second 3 rate = %g", got)
+	}
+}
+
+func TestParseMahimahiRejectsGarbage(t *testing.T) {
+	if _, err := ParseMahimahi(strings.NewReader("abc\n"), 1500); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, err := ParseMahimahi(strings.NewReader(""), 1500); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := ParseMahimahi(strings.NewReader("-5\n"), 1500); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

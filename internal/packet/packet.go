@@ -1,0 +1,109 @@
+// Package packet defines the wire-level packet representation shared by the
+// simulated transports and the capture layer.
+//
+// A Packet carries two things: the monitor-visible View (everything a
+// third-party capturing encrypted traffic at the gateway could observe —
+// sizes, timing, cleartext header fields) and an opaque Arrive callback that
+// delivers the semantic content to the receiving endpoint. The inference
+// code in internal/core consumes only Views; it never sees payload
+// semantics, mirroring the threat model of the paper (§2, Figure 2).
+package packet
+
+// Header sizes in bytes. TCP includes typical options (timestamps).
+const (
+	IPHeader  = 20
+	TCPHeader = 32
+	UDPHeader = 8
+
+	// QUICShortHeader is the short (1-RTT) header: flags(1) + DCID(8) +
+	// packet number(4).
+	QUICShortHeader = 13
+	// QUICLongHeader approximates the long header used during the
+	// handshake.
+	QUICLongHeader = 28
+)
+
+// Dir is the packet direction relative to the client device.
+type Dir int
+
+const (
+	Up   Dir = iota // client -> server
+	Down            // server -> client
+)
+
+func (d Dir) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Proto is the transport protocol of a connection.
+type Proto int
+
+const (
+	TCP Proto = iota
+	UDP
+)
+
+func (p Proto) String() string {
+	if p == TCP {
+		return "tcp"
+	}
+	return "udp"
+}
+
+// View is the monitor-visible information of one packet: exactly the fields
+// listed in Figure 2 of the paper as still observable under HTTPS/QUIC.
+type View struct {
+	Time   float64 // capture timestamp, set by the tap
+	Dir    Dir
+	Proto  Proto
+	ConnID int   // stands in for the 5-tuple
+	Size   int64 // total wire size including all headers
+
+	// SNI is non-empty on the handshake packet carrying the Server Name
+	// Indication (TLS ClientHello / QUIC Initial).
+	SNI string
+
+	// ServerIP is the server-side address of the 5-tuple (always visible
+	// in the IP header).
+	ServerIP string
+
+	// DNSQuery/DNSAnswerIP are set on (cleartext) DNS packets: the monitor
+	// can associate later connections to hostnames through them even when
+	// the SNI is absent (§5.3.1 Step 1.1 fallback).
+	DNSQuery    string
+	DNSAnswerIP string
+
+	// TCP/TLS fields (Proto == TCP).
+	TCPSeq     int64 // stream byte offset of the first payload byte
+	TCPPayload int64 // TCP payload bytes in this packet
+	// TLSAppBytes / TLSHSBytes split the TCP payload into application-data
+	// record bytes (payload + AEAD tag) and handshake record bytes; record
+	// framing headers are excluded from both. A monitor reconstructs this
+	// from the cleartext 5-byte record headers in the stream.
+	TLSAppBytes int64
+	TLSHSBytes  int64
+
+	// QUIC fields (Proto == UDP).
+	QUICPN      int64 // packet number (never reused, even for retransmitted data)
+	QUICPayload int64 // encrypted payload bytes after the QUIC header
+	QUICLong    bool  // long-header (handshake) packet
+}
+
+// Packet is one packet in flight through the emulated network.
+type Packet struct {
+	Size int64 // wire size in bytes
+	View View
+	// Arrive delivers the packet to the receiving endpoint at the given
+	// virtual time. It is nil for packets that carry no semantics (never
+	// the case in practice).
+	Arrive func(now float64)
+}
+
+// Sender is anything that can accept a packet for (eventual) delivery:
+// links, shapers, endpoints.
+type Sender interface {
+	Send(p *Packet)
+}

@@ -1,0 +1,127 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+)
+
+// DNS wire-format support: the writer emits genuine DNS query/response
+// payloads for the simulator's DNS views, and the reader recovers
+// hostname→IP associations from port-53 traffic in any capture — the
+// paper's fallback for associating connections to services when the SNI is
+// unavailable (§5.3.1).
+
+const dnsPort = 53
+
+// buildDNSQuery encodes a standard query for an A record.
+func buildDNSQuery(host string, id uint16) []byte {
+	var b []byte
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[0:], id)
+	hdr[2] = 0x01 // RD
+	binary.BigEndian.PutUint16(hdr[4:], 1)
+	b = append(b, hdr[:]...)
+	b = appendQName(b, host)
+	b = append(b, 0, 1, 0, 1) // QTYPE=A, QCLASS=IN
+	return b
+}
+
+// buildDNSResponse encodes a response with one A record.
+func buildDNSResponse(host string, ip net.IP, id uint16) []byte {
+	var b []byte
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[0:], id)
+	hdr[2] = 0x81 // QR + RD
+	hdr[3] = 0x80 // RA
+	binary.BigEndian.PutUint16(hdr[4:], 1)
+	binary.BigEndian.PutUint16(hdr[6:], 1)
+	b = append(b, hdr[:]...)
+	b = appendQName(b, host)
+	b = append(b, 0, 1, 0, 1)
+	// Answer: pointer to the question name.
+	b = append(b, 0xc0, 12)
+	b = append(b, 0, 1, 0, 1) // TYPE=A, CLASS=IN
+	b = append(b, 0, 0, 0, 60)
+	b = append(b, 0, 4)
+	b = append(b, ip.To4()...)
+	return b
+}
+
+func appendQName(b []byte, host string) []byte {
+	for _, label := range strings.Split(host, ".") {
+		if label == "" || len(label) > 63 {
+			continue
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0)
+}
+
+// parseDNS extracts (host, answer IP) from a DNS payload. Returns empty
+// strings when the message has no parseable A answer (plain queries yield
+// just the host).
+func parseDNS(p []byte) (host, answerIP string) {
+	if len(p) < 12 {
+		return "", ""
+	}
+	qd := int(binary.BigEndian.Uint16(p[4:]))
+	an := int(binary.BigEndian.Uint16(p[6:]))
+	if qd < 1 {
+		return "", ""
+	}
+	pos := 12
+	var labels []string
+	for pos < len(p) {
+		l := int(p[pos])
+		pos++
+		if l == 0 {
+			break
+		}
+		if l&0xc0 != 0 || pos+l > len(p) {
+			return "", "" // compressed or malformed question name
+		}
+		labels = append(labels, string(p[pos:pos+l]))
+		pos += l
+	}
+	host = strings.Join(labels, ".")
+	pos += 4 // QTYPE + QCLASS
+	if an < 1 || pos >= len(p) {
+		return host, ""
+	}
+	// First answer record: name (possibly compressed), type, class, ttl,
+	// rdlength, rdata.
+	if pos+2 <= len(p) && p[pos]&0xc0 == 0xc0 {
+		pos += 2
+	} else {
+		for pos < len(p) && p[pos] != 0 {
+			pos += int(p[pos]) + 1
+		}
+		pos++
+	}
+	if pos+10 > len(p) {
+		return host, ""
+	}
+	typ := binary.BigEndian.Uint16(p[pos:])
+	rdlen := int(binary.BigEndian.Uint16(p[pos+8:]))
+	pos += 10
+	if typ == 1 && rdlen == 4 && pos+4 <= len(p) {
+		return host, net.IP(p[pos : pos+4]).String()
+	}
+	return host, ""
+}
+
+// applyDNSView fills View fields from a parsed DNS payload.
+func applyDNSView(rp *rawPacket) bool {
+	if rp.srcPort != dnsPort && rp.dstPort != dnsPort {
+		return false
+	}
+	host, ip := parseDNS(rp.payload)
+	if host == "" {
+		return true // port-53 traffic we cannot parse; keep as plain UDP
+	}
+	rp.view.DNSQuery = host
+	rp.view.DNSAnswerIP = ip
+	return true
+}

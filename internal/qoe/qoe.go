@@ -1,0 +1,234 @@
+// Package qoe derives Quality-of-Experience metrics from a sequence of
+// downloaded chunks with their download-completion times — the final
+// analysis step of CSI (§4.3): buffer occupancy across time, stall events,
+// per-track playback time distribution, and data usage.
+//
+// The same analysis applies to ground-truth logs and to CSI-inferred
+// sequences, which is how the §7 shaping study reads player behaviour out
+// of encrypted traffic.
+package qoe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Chunk is one downloaded chunk with timing.
+type Chunk struct {
+	ReqTime  float64
+	DoneTime float64
+	Track    int
+	Index    int
+	Audio    bool
+	Size     int64
+}
+
+// Config sets the playback model used for reconstruction.
+type Config struct {
+	ChunkDur    float64 // required
+	StartupSec  float64 // buffered content needed to start; default ChunkDur
+	RebufferSec float64 // buffered content needed to resume after a stall; default ChunkDur
+	// Horizon truncates the analysis at this wall time (e.g. the session
+	// duration); 0 = run playback to the end of downloaded content.
+	Horizon float64
+}
+
+// Stall is a playback interruption.
+type Stall struct {
+	Start float64
+	End   float64
+}
+
+// Sample is one point of the buffer-occupancy timeline.
+type Sample struct {
+	T      float64
+	Buffer float64 // seconds of video content buffered ahead of playhead
+}
+
+// Report is the QoE summary of a session.
+type Report struct {
+	DataBytes   int64
+	VideoChunks int
+	AudioChunks int
+
+	StartupDelay float64 // wall time until playback started
+	Stalls       []Stall
+	StallTime    float64
+
+	// TrackTime is playback seconds spent displaying each track;
+	// TrackShare the same normalized to fractions.
+	TrackTime  map[int]float64
+	TrackShare map[int]float64
+
+	// Switches counts track changes between consecutive video chunks —
+	// §7 flags frequent dramatic switches as a QoE harm of oversized
+	// token buckets.
+	Switches int
+	// SwitchMagnitude sums |ladder distance| across switches (a crude
+	// measure of how dramatic they were).
+	SwitchMagnitude int
+
+	// Buffer holds the buffer occupancy sampled at each download
+	// completion and playback transition.
+	Buffer []Sample
+}
+
+// Analyze reconstructs playback from download completions.
+func Analyze(chunks []Chunk, cfg Config) (*Report, error) {
+	if cfg.ChunkDur <= 0 {
+		return nil, fmt.Errorf("qoe: chunk duration must be positive")
+	}
+	if cfg.StartupSec == 0 {
+		cfg.StartupSec = cfg.ChunkDur
+	}
+	if cfg.RebufferSec == 0 {
+		cfg.RebufferSec = cfg.ChunkDur
+	}
+	rep := &Report{
+		TrackTime:  map[int]float64{},
+		TrackShare: map[int]float64{},
+	}
+	var video []Chunk
+	for _, c := range chunks {
+		rep.DataBytes += c.Size
+		if c.Audio {
+			rep.AudioChunks++
+			continue
+		}
+		rep.VideoChunks++
+		video = append(video, c)
+	}
+	if len(video) == 0 {
+		return nil, fmt.Errorf("qoe: no video chunks")
+	}
+	sort.Slice(video, func(a, b int) bool { return video[a].Index < video[b].Index })
+	for i := 1; i < len(video); i++ {
+		if video[i].Index != video[i-1].Index+1 {
+			return nil, fmt.Errorf("qoe: video indexes not contiguous: %d after %d", video[i].Index, video[i-1].Index)
+		}
+		if video[i].Track != video[i-1].Track {
+			rep.Switches++
+			d := video[i].Track - video[i-1].Track
+			if d < 0 {
+				d = -d
+			}
+			rep.SwitchMagnitude += d
+		}
+	}
+
+	dur := cfg.ChunkDur
+	// Playback replay. Content time is relative to the first chunk.
+	type segment struct {
+		wallStart, wallEnd, contentStart float64
+	}
+	var segments []segment
+	var stalls []Stall
+
+	// availAt(c) = content seconds available once chunk c is done.
+	playhead := 0.0 // content position
+	started := false
+	playing := false
+	var playStart float64
+	var stallStart float64
+	contentEnd := 0.0
+
+	closeSegment := func(at float64) {
+		if playing {
+			playhead += at - playStart
+			segments = append(segments, segment{wallStart: playStart, wallEnd: at, contentStart: playhead - (at - playStart)})
+			playing = false
+		}
+	}
+
+	record := func(t float64) {
+		buf := contentEnd - playhead
+		if playing {
+			buf = contentEnd - (playhead + t - playStart)
+		}
+		if buf < 0 {
+			buf = 0
+		}
+		rep.Buffer = append(rep.Buffer, Sample{T: t, Buffer: buf})
+	}
+
+	for i := 0; i < len(video); i++ {
+		t := video[i].DoneTime
+		if cfg.Horizon > 0 && t > cfg.Horizon {
+			break
+		}
+		// Advance playback up to t: does the playhead catch the buffer?
+		if playing {
+			runway := contentEnd - playhead // content remaining at playStart
+			if playStart+runway <= t {
+				// Stall (or pause) at playStart+runway.
+				at := playStart + runway
+				closeSegment(at)
+				stallStart = at
+			}
+		}
+		contentEnd = float64(i+1) * dur
+		record(t)
+		threshold := cfg.RebufferSec
+		if !started {
+			threshold = cfg.StartupSec
+		}
+		if !playing && contentEnd-playhead >= threshold-1e-9 {
+			if started && stallStart > 0 {
+				stalls = append(stalls, Stall{Start: stallStart, End: t})
+				stallStart = 0
+			}
+			if !started {
+				started = true
+				rep.StartupDelay = t
+			}
+			playing = true
+			playStart = t
+		}
+	}
+	// Drain the final buffer.
+	if playing {
+		end := playStart + (contentEnd - playhead)
+		if cfg.Horizon > 0 && end > cfg.Horizon {
+			end = cfg.Horizon
+		}
+		closeSegment(end)
+	} else if stallStart > 0 {
+		end := stallStart
+		if cfg.Horizon > 0 {
+			end = cfg.Horizon
+		}
+		stalls = append(stalls, Stall{Start: stallStart, End: end})
+	}
+	rep.Stalls = stalls
+	for _, s := range stalls {
+		rep.StallTime += s.End - s.Start
+	}
+
+	// Per-track playback time: map content intervals through segments.
+	totalPlay := 0.0
+	for _, seg := range segments {
+		segDur := seg.wallEnd - seg.wallStart
+		totalPlay += segDur
+		cStart, cEnd := seg.contentStart, seg.contentStart+segDur
+		first := int(cStart / dur)
+		for idx := first; float64(idx)*dur < cEnd && idx < len(video); idx++ {
+			lo := float64(idx) * dur
+			hi := lo + dur
+			if lo < cStart {
+				lo = cStart
+			}
+			if hi > cEnd {
+				hi = cEnd
+			}
+			if hi > lo {
+				rep.TrackTime[video[idx].Track] += hi - lo
+			}
+		}
+	}
+	if totalPlay > 0 {
+		for tr, tt := range rep.TrackTime {
+			rep.TrackShare[tr] = tt / totalPlay
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,212 @@
+package qoe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chunksEvery builds n chunks of dur-second content completing at the given
+// interval, all from one track.
+func chunksEvery(n int, interval float64, track int) []Chunk {
+	var out []Chunk
+	for i := 0; i < n; i++ {
+		out = append(out, Chunk{
+			ReqTime:  float64(i) * interval,
+			DoneTime: float64(i)*interval + interval*0.8,
+			Track:    track,
+			Index:    i,
+			Size:     1000,
+		})
+	}
+	return out
+}
+
+func TestSteadyPlaybackNoStalls(t *testing.T) {
+	// 5-second chunks arriving every 4 seconds: buffer grows, no stalls.
+	rep, err := Analyze(chunksEvery(20, 4, 2), Config{ChunkDur: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stalls) != 0 {
+		t.Fatalf("stalls = %v, want none", rep.Stalls)
+	}
+	if rep.VideoChunks != 20 {
+		t.Fatalf("video chunks = %d", rep.VideoChunks)
+	}
+	if rep.StartupDelay <= 0 || rep.StartupDelay > 4 {
+		t.Fatalf("startup delay = %g", rep.StartupDelay)
+	}
+	// All playback on track 2.
+	if s := rep.TrackShare[2]; math.Abs(s-1) > 1e-9 {
+		t.Fatalf("track 2 share = %g, want 1", s)
+	}
+}
+
+func TestSlowDownloadsCauseStalls(t *testing.T) {
+	// 5-second chunks arriving every 8 seconds: the playhead starves.
+	rep, err := Analyze(chunksEvery(10, 8, 0), Config{ChunkDur: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stalls) == 0 {
+		t.Fatal("expected stalls when downloads are slower than playback")
+	}
+	if rep.StallTime <= 0 {
+		t.Fatal("stall time not accounted")
+	}
+	// Stalls must not overlap and must be ordered.
+	for i := 1; i < len(rep.Stalls); i++ {
+		if rep.Stalls[i].Start < rep.Stalls[i-1].End {
+			t.Fatalf("overlapping stalls: %v", rep.Stalls)
+		}
+	}
+}
+
+func TestTrackShares(t *testing.T) {
+	// First 5 chunks track 0, next 5 track 3, fast downloads.
+	chunks := chunksEvery(10, 1, 0)
+	for i := 5; i < 10; i++ {
+		chunks[i].Track = 3
+	}
+	rep, err := Analyze(chunks, Config{ChunkDur: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.TrackShare[0]-0.5) > 0.01 || math.Abs(rep.TrackShare[3]-0.5) > 0.01 {
+		t.Fatalf("shares = %v, want ~50/50", rep.TrackShare)
+	}
+}
+
+func TestDataBytesAndAudio(t *testing.T) {
+	chunks := chunksEvery(4, 1, 0)
+	chunks = append(chunks, Chunk{ReqTime: 0.5, DoneTime: 0.7, Audio: true, Size: 500})
+	rep, err := Analyze(chunks, Config{ChunkDur: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DataBytes != 4*1000+500 {
+		t.Fatalf("data bytes = %d", rep.DataBytes)
+	}
+	if rep.AudioChunks != 1 {
+		t.Fatalf("audio chunks = %d", rep.AudioChunks)
+	}
+}
+
+func TestHorizonTruncates(t *testing.T) {
+	rep, err := Analyze(chunksEvery(20, 4, 0), Config{ChunkDur: 5, Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Buffer {
+		if s.T > 30 {
+			t.Fatalf("buffer sample beyond horizon: %v", s)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Analyze(nil, Config{ChunkDur: 5}); err == nil {
+		t.Error("no chunks accepted")
+	}
+	if _, err := Analyze(chunksEvery(3, 1, 0), Config{}); err == nil {
+		t.Error("zero chunk duration accepted")
+	}
+	gap := chunksEvery(3, 1, 0)
+	gap[2].Index = 5
+	if _, err := Analyze(gap, Config{ChunkDur: 5}); err == nil {
+		t.Error("non-contiguous indexes accepted")
+	}
+}
+
+func TestBufferNeverNegative(t *testing.T) {
+	rep, err := Analyze(chunksEvery(15, 7, 0), Config{ChunkDur: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Buffer {
+		if s.Buffer < 0 {
+			t.Fatalf("negative buffer at t=%g", s.T)
+		}
+	}
+}
+
+func TestSwitchCounting(t *testing.T) {
+	chunks := chunksEvery(6, 1, 0)
+	chunks[2].Track = 3 // up by 3
+	chunks[3].Track = 3
+	chunks[4].Track = 1 // down by 2
+	rep, err := Analyze(chunks, Config{ChunkDur: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0->0->3->3->1->0: switches at 2, 4, 5.
+	if rep.Switches != 3 {
+		t.Fatalf("switches = %d, want 3", rep.Switches)
+	}
+	if rep.SwitchMagnitude != 3+2+1 {
+		t.Fatalf("magnitude = %d, want 6", rep.SwitchMagnitude)
+	}
+}
+
+// Property: regardless of download timing patterns, the report invariants
+// hold — track shares sum to ~1 when playback happened, stalls are ordered
+// and disjoint, and the buffer timeline is time-sorted and non-negative.
+func TestReportInvariantsProperty(t *testing.T) {
+	f := func(gaps []uint8, seed int64) bool {
+		if len(gaps) < 3 {
+			return true
+		}
+		if len(gaps) > 40 {
+			gaps = gaps[:40]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var chunks []Chunk
+		ts := 0.0
+		for i, g := range gaps {
+			ts += float64(g%90)/10 + 0.1
+			chunks = append(chunks, Chunk{
+				ReqTime:  ts - 0.1,
+				DoneTime: ts,
+				Track:    rng.Intn(4),
+				Index:    i,
+				Size:     1000,
+			})
+		}
+		rep, err := Analyze(chunks, Config{ChunkDur: 5})
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, s := range rep.TrackShare {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		if len(rep.TrackShare) > 0 && math.Abs(sum-1) > 1e-6 {
+			return false
+		}
+		for i, s := range rep.Stalls {
+			if s.End < s.Start {
+				return false
+			}
+			if i > 0 && s.Start < rep.Stalls[i-1].End {
+				return false
+			}
+		}
+		prev := -1.0
+		for _, s := range rep.Buffer {
+			if s.Buffer < 0 || s.T < prev {
+				return false
+			}
+			prev = s.T
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(77))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

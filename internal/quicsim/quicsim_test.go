@@ -1,0 +1,276 @@
+package quicsim
+
+import (
+	"testing"
+
+	"csi/internal/netem"
+	"csi/internal/packet"
+	"csi/internal/sim"
+)
+
+type harness struct {
+	eng      *sim.Engine
+	conn     *Conn
+	up, down *netem.Link
+	downCaps []packet.View
+	upCaps   []packet.View
+}
+
+func newHarness(t *testing.T, downCfg netem.LinkConfig) *harness {
+	t.Helper()
+	h := &harness{eng: sim.New()}
+	h.eng.SetEventLimit(5_000_000)
+	h.up = netem.NewLink(h.eng, netem.LinkConfig{Trace: netem.Constant(50_000_000), Delay: 0.02},
+		func(p *packet.Packet) { p.Arrive(h.eng.Now()) })
+	h.down = netem.NewLink(h.eng, downCfg, func(p *packet.Packet) { p.Arrive(h.eng.Now()) })
+	h.conn = NewConn(h.eng, Config{ConnID: 3}, h.up, h.down)
+	h.down.SetTap(func(v packet.View, now float64) { h.downCaps = append(h.downCaps, v) })
+	h.up.SetTap(func(v packet.View, now float64) { h.upCaps = append(h.upCaps, v) })
+	return h
+}
+
+func TestHandshakeCarriesSNI(t *testing.T) {
+	h := newHarness(t, netem.LinkConfig{Trace: netem.Constant(8_000_000), Delay: 0.02})
+	ready := false
+	h.conn.Start("media.example.com", func(now float64) { ready = true })
+	h.eng.Run()
+	if !ready {
+		t.Fatal("handshake never completed")
+	}
+	found := false
+	for _, v := range h.upCaps {
+		if v.SNI == "media.example.com" && v.QUICLong {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no long-header packet carrying the SNI captured")
+	}
+}
+
+func TestHandshakeSurvivesLoss(t *testing.T) {
+	h := newHarness(t, netem.LinkConfig{
+		Trace: netem.Constant(8_000_000), Delay: 0.02, LossProb: 0.3, Seed: 77,
+	})
+	ready := false
+	h.conn.Start("x", func(now float64) { ready = true })
+	h.eng.RunUntil(30)
+	if !ready {
+		t.Fatal("handshake did not complete despite retries under 30% loss")
+	}
+}
+
+func TestStreamTransfer(t *testing.T) {
+	h := newHarness(t, netem.LinkConfig{Trace: netem.Constant(8_000_000), Delay: 0.02, QueueCap: 1 << 20})
+	var done float64
+	h.conn.Start("x", func(now float64) {
+		h.conn.Client.Write(0, 400, func(now float64) {
+			h.conn.Server.Write(0, 500_000, func(now float64) { done = now })
+		})
+	})
+	h.eng.Run()
+	if done == 0 {
+		t.Fatal("transfer did not complete")
+	}
+	if done > 2.0 {
+		t.Fatalf("500 KB at 8 Mbit/s took %g s", done)
+	}
+}
+
+func TestPacketNumbersNeverReused(t *testing.T) {
+	h := newHarness(t, netem.LinkConfig{
+		Trace: netem.Constant(8_000_000), Delay: 0.02,
+		LossProb: 0.03, Seed: 5, QueueCap: 1 << 20,
+	})
+	var done bool
+	h.conn.Start("x", func(now float64) {
+		h.conn.Client.Write(0, 400, func(now float64) {
+			h.conn.Server.Write(0, 800_000, func(now float64) { done = true })
+		})
+	})
+	h.eng.Run()
+	if !done {
+		t.Fatal("transfer incomplete under loss")
+	}
+	if h.conn.Server.LostPackets == 0 {
+		t.Fatal("expected lost packets at 3% loss")
+	}
+	seen := map[int64]bool{}
+	for _, v := range h.downCaps {
+		if v.QUICLong {
+			continue
+		}
+		if seen[v.QUICPN] {
+			t.Fatalf("packet number %d reused — QUIC must never reuse PNs", v.QUICPN)
+		}
+		seen[v.QUICPN] = true
+	}
+}
+
+// The monitor-side payload sum must over-estimate the true object size
+// (Property 1) but stay within ~5% for QUIC under moderate loss.
+func TestQUICEstimationOverhead(t *testing.T) {
+	h := newHarness(t, netem.LinkConfig{
+		Trace: netem.Constant(8_000_000), Delay: 0.02,
+		LossProb: 0.02, Seed: 3, QueueCap: 1 << 20,
+	})
+	const size = 1_000_000
+	var done bool
+	h.conn.Start("x", func(now float64) {
+		h.conn.Client.Write(0, 400, func(now float64) {
+			h.conn.Server.Write(0, size, func(now float64) { done = true })
+		})
+	})
+	h.eng.Run()
+	if !done {
+		t.Fatal("transfer incomplete")
+	}
+	var est int64
+	for _, v := range h.downCaps {
+		if v.QUICLong {
+			continue
+		}
+		est += v.QUICPayload
+	}
+	if est < size {
+		t.Fatalf("estimate %d < true size %d; Property 1 lower bound violated", est, size)
+	}
+	if float64(est) > 1.05*float64(size) {
+		t.Fatalf("estimate %d exceeds (1+5%%) bound for size %d (ratio %.4f)",
+			est, size, float64(est)/float64(size))
+	}
+}
+
+func TestAckPacketsStayBelowRequestThreshold(t *testing.T) {
+	h := newHarness(t, netem.LinkConfig{Trace: netem.Constant(8_000_000), Delay: 0.02, QueueCap: 1 << 20})
+	var done bool
+	h.conn.Start("x", func(now float64) {
+		h.conn.Client.Write(0, 400, func(now float64) {
+			h.conn.Server.Write(0, 300_000, func(now float64) { done = true })
+		})
+	})
+	h.eng.Run()
+	if !done {
+		t.Fatal("incomplete")
+	}
+	var acks, requests int
+	for _, v := range h.upCaps {
+		if v.QUICLong {
+			continue
+		}
+		if v.QUICPayload <= 80 {
+			acks++
+		} else {
+			requests++
+		}
+	}
+	if acks == 0 {
+		t.Fatal("no small uplink ACK packets")
+	}
+	if requests != 1 {
+		t.Fatalf("uplink packets with payload > 80 = %d, want exactly the 1 request (§5.3.1 heuristic)", requests)
+	}
+}
+
+func TestStreamMultiplexing(t *testing.T) {
+	h := newHarness(t, netem.LinkConfig{Trace: netem.Constant(8_000_000), Delay: 0.02, QueueCap: 1 << 20})
+	var doneA, doneV float64
+	h.conn.Start("x", func(now float64) {
+		// Simultaneous audio (stream 4) and video (stream 0) responses.
+		h.conn.Server.Write(0, 400_000, func(now float64) { doneV = now })
+		h.conn.Server.Write(4, 50_000, func(now float64) { doneA = now })
+	})
+	h.eng.Run()
+	if doneA == 0 || doneV == 0 {
+		t.Fatal("one of the streams did not complete")
+	}
+	// The smaller stream must finish first (round-robin interleaving), and
+	// both must share the link concurrently rather than serially.
+	if doneA >= doneV {
+		t.Fatalf("audio (50 KB) finished at %g, video (400 KB) at %g; expected interleaving", doneA, doneV)
+	}
+	// Serial transfer of 50 KB at 1 MB/s would finish at ~0.05 s after
+	// start; with fair multiplexing it takes about twice that.
+	if doneA < 0.08 {
+		t.Fatalf("audio finished at %g, too fast for multiplexed transfer", doneA)
+	}
+}
+
+func TestInOrderPerStreamDeliveryUnderLoss(t *testing.T) {
+	h := newHarness(t, netem.LinkConfig{
+		Trace: netem.Constant(6_000_000), Delay: 0.03,
+		LossProb: 0.04, Seed: 21, QueueCap: 1 << 20,
+	})
+	var order []int
+	h.conn.Start("x", func(now float64) {
+		h.conn.Server.Write(0, 120_000, func(now float64) { order = append(order, 1) })
+		h.conn.Server.Write(0, 80_000, func(now float64) { order = append(order, 2) })
+		h.conn.Server.Write(4, 30_000, func(now float64) { order = append(order, 3) })
+	})
+	h.eng.Run()
+	if len(order) != 3 {
+		t.Fatalf("delivered %d messages, want 3 (%v)", len(order), order)
+	}
+	// Stream 0 messages must arrive in order; stream 4 is independent.
+	i1, i2 := indexOf(order, 1), indexOf(order, 2)
+	if i1 > i2 {
+		t.Fatalf("stream 0 messages out of order: %v", order)
+	}
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRetransmittedBytesCounted(t *testing.T) {
+	h := newHarness(t, netem.LinkConfig{
+		Trace: netem.Constant(8_000_000), Delay: 0.02,
+		LossProb: 0.05, Seed: 13, QueueCap: 1 << 20,
+	})
+	var done bool
+	h.conn.Start("x", func(now float64) {
+		h.conn.Server.Write(0, 500_000, func(now float64) { done = true })
+	})
+	h.eng.Run()
+	if !done {
+		t.Fatal("incomplete")
+	}
+	if h.conn.Server.RetxBytes == 0 {
+		t.Fatal("no retransmitted bytes recorded at 5% loss")
+	}
+}
+
+// Reordering must not wreck QUIC: the 3-packet threshold plus time
+// threshold tolerate small reorderings without a retransmission storm.
+func TestReorderingTolerance(t *testing.T) {
+	h := &harness{eng: sim.New()}
+	h.eng.SetEventLimit(5_000_000)
+	h.up = netem.NewLink(h.eng, netem.LinkConfig{Trace: netem.Constant(50_000_000), Delay: 0.02},
+		func(p *packet.Packet) { p.Arrive(h.eng.Now()) })
+	h.down = netem.NewLink(h.eng, netem.LinkConfig{
+		Trace: netem.Constant(8_000_000), Delay: 0.02, QueueCap: 1 << 20,
+		ReorderProb: 0.05, Seed: 31,
+	}, func(p *packet.Packet) { p.Arrive(h.eng.Now()) })
+	h.conn = NewConn(h.eng, Config{ConnID: 8}, h.up, h.down)
+	var done bool
+	h.conn.Start("x", func(now float64) {
+		h.conn.Server.Write(0, 1_000_000, func(now float64) { done = true })
+	})
+	h.eng.Run()
+	if !done {
+		t.Fatal("transfer incomplete under reordering")
+	}
+	if h.down.Reordered == 0 {
+		t.Fatal("no packets actually reordered")
+	}
+	// Without loss, spurious retransmissions from reordering alone must
+	// stay tiny (under 1% of the object).
+	if h.conn.Server.RetxBytes > 10_000 {
+		t.Fatalf("reordering caused %d retransmitted bytes", h.conn.Server.RetxBytes)
+	}
+}

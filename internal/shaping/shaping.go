@@ -1,0 +1,221 @@
+// Package shaping implements the §7 use case: studying how token-bucket
+// traffic-shaping parameters (rate r, bucket size N) interact with a
+// closed-source player's adaptation logic, using CSI to read the player's
+// behaviour out of encrypted traffic.
+//
+// The player under study is the Hulu-like client of §7: starts on the
+// lowest track, converges to the highest track whose bitrate is at most
+// half the available bandwidth, and pauses downloads at ~145 s of buffer,
+// producing a per-chunk ON-OFF pattern.
+package shaping
+
+import (
+	"fmt"
+
+	"csi/internal/abr"
+	"csi/internal/capture"
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/qoe"
+	"csi/internal/session"
+)
+
+// huluSession applies the session knobs reproducing the §7 client.
+func huluSession(cfg *session.Config) {
+	cfg.Algo = abr.HuluHalf{}
+	cfg.MaxBufferSec = 145
+	cfg.ResumeBufferSec = 145
+	cfg.StartupChunks = 3
+}
+
+// Conditions returns the two bandwidth conditions of §7: B1 stable 10
+// Mbit/s, and B2 mostly 10 Mbit/s with occasional 1 Mbit/s troughs.
+func Conditions() (map[string]*netem.BandwidthTrace, error) {
+	b1 := netem.Constant(10_000_000)
+	// B2: 40 s at 10 Mbit/s, 15 s at 1 Mbit/s, repeating.
+	b2, err := netem.Steps(3600, [2]float64{40, 10_000_000}, [2]float64{15, 1_000_000})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]*netem.BandwidthTrace{"B1": b1, "B2": b2}, nil
+}
+
+// Point is one measurement of the sweep: the player behaviour inferred by
+// CSI under one shaping configuration and network condition.
+type Point struct {
+	Condition  string
+	RateBps    float64
+	Bucket     int64
+	TrackShare map[int]float64 // playback-time share per manifest track
+	DataBytes  int64           // downlink bytes used
+	Stalls     int
+	Switches   int  // track changes (§7: big buckets cause oscillation)
+	Inferred   bool // behaviour read via CSI (vs ground truth fallback)
+}
+
+// RunPoint streams through the shaper and infers behaviour with CSI.
+func RunPoint(man *media.Manifest, cond string, trace *netem.BandwidthTrace, r float64, n int64, dur float64, seed int64) (*Point, error) {
+	cfg := session.Config{
+		Design:    session.CH,
+		Manifest:  man,
+		Bandwidth: trace,
+		Shaper:    &netem.TokenBucketConfig{RateBps: r, BucketSize: n},
+		Duration:  dur,
+		Seed:      seed,
+	}
+	huluSession(&cfg)
+	res, err := session.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pt := &Point{Condition: cond, RateBps: r, Bucket: n, DataBytes: res.Stats.DownlinkBytes}
+
+	// Read the adaptation behaviour out of the encrypted trace with CSI.
+	inf, err := core.Infer(man, res.Run.Trace, core.Params{MediaHost: man.Host})
+	var chunks []qoe.Chunk
+	if err == nil && inf.Best != nil {
+		chunks = chunksFromInference(inf, man)
+		pt.Inferred = true
+	} else {
+		// Fall back to ground truth so a sweep never silently loses a
+		// point; callers can see Inferred=false.
+		chunks = chunksFromTruth(res.Run.Truth)
+	}
+	rep, err := qoe.Analyze(chunks, qoe.Config{ChunkDur: man.ChunkDur, Horizon: dur})
+	if err != nil {
+		return nil, fmt.Errorf("shaping: qoe: %w", err)
+	}
+	pt.TrackShare = rep.TrackShare
+	pt.Stalls = len(rep.Stalls)
+	pt.Switches = rep.Switches
+	return pt, nil
+}
+
+func chunksFromInference(inf *core.Inference, man *media.Manifest) []qoe.Chunk {
+	var out []qoe.Chunk
+	for i, a := range inf.Best.Assignments {
+		r := inf.Requests[i]
+		c := qoe.Chunk{ReqTime: r.Time, DoneTime: r.LastData, Audio: a.Audio}
+		if a.Audio {
+			c.Track = a.AudioTrack
+			c.Size = man.Tracks[a.AudioTrack].Sizes[0]
+		} else {
+			c.Track = a.Ref.Track
+			c.Index = a.Ref.Index
+			c.Size = man.Size(a.Ref)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func chunksFromTruth(truth []capture.TruthRecord) []qoe.Chunk {
+	var out []qoe.Chunk
+	for _, tr := range truth {
+		out = append(out, qoe.Chunk{
+			ReqTime: tr.ReqTime, DoneTime: tr.DoneTime,
+			Track: tr.Ref.Track, Index: tr.Ref.Index,
+			Audio: tr.Kind == media.Audio, Size: tr.Size,
+		})
+	}
+	return out
+}
+
+// SweepRates reproduces Figure 10(a)-(b): vary the token rate r with a
+// small fixed bucket.
+func SweepRates(man *media.Manifest, rates []float64, bucket int64, dur float64, seed int64) ([]Point, error) {
+	conds, err := Conditions()
+	if err != nil {
+		return nil, err
+	}
+	var out []Point
+	for _, cond := range []string{"B1", "B2"} {
+		for i, r := range rates {
+			pt, err := RunPoint(man, cond, conds[cond], r, bucket, dur, seed+int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("shaping: %s r=%.0f: %w", cond, r, err)
+			}
+			out = append(out, *pt)
+		}
+	}
+	return out, nil
+}
+
+// SweepBuckets reproduces Figure 10(c)-(d): vary the bucket size N with a
+// fixed rate.
+func SweepBuckets(man *media.Manifest, rate float64, buckets []int64, dur float64, seed int64) ([]Point, error) {
+	conds, err := Conditions()
+	if err != nil {
+		return nil, err
+	}
+	var out []Point
+	for _, cond := range []string{"B1", "B2"} {
+		for i, n := range buckets {
+			pt, err := RunPoint(man, cond, conds[cond], rate, n, dur, seed+int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("shaping: %s N=%d: %w", cond, n, err)
+			}
+			out = append(out, *pt)
+		}
+	}
+	return out, nil
+}
+
+// SeriesRow is one chunk of a Figure 11 time series.
+type SeriesRow struct {
+	ReqTime    float64
+	Track      int
+	Throughput float64 // achieved bits/s for this chunk
+	BufferSec  float64 // buffer occupancy when the chunk finished
+}
+
+// TimeSeries reproduces one Figure 11 panel: per-chunk track selection,
+// achieved throughput and buffer occupancy over time, as inferred by CSI.
+func TimeSeries(man *media.Manifest, trace *netem.BandwidthTrace, shaper *netem.TokenBucketConfig, dur float64, seed int64) ([]SeriesRow, error) {
+	cfg := session.Config{
+		Design:    session.CH,
+		Manifest:  man,
+		Bandwidth: trace,
+		Shaper:    shaper,
+		Duration:  dur,
+		Seed:      seed,
+	}
+	huluSession(&cfg)
+	res, err := session.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inf, err := core.Infer(man, res.Run.Trace, core.Params{MediaHost: man.Host})
+	if err != nil {
+		return nil, fmt.Errorf("shaping: inference: %w", err)
+	}
+	chunks := chunksFromInference(inf, man)
+	rep, err := qoe.Analyze(chunks, qoe.Config{ChunkDur: man.ChunkDur, Horizon: dur})
+	if err != nil {
+		return nil, err
+	}
+	// Buffer lookup: the qoe samples are in completion order.
+	bufAt := func(t float64) float64 {
+		b := 0.0
+		for _, s := range rep.Buffer {
+			if s.T > t {
+				break
+			}
+			b = s.Buffer
+		}
+		return b
+	}
+	var rows []SeriesRow
+	for _, c := range chunks {
+		if c.Audio {
+			continue
+		}
+		row := SeriesRow{ReqTime: c.ReqTime, Track: c.Track, BufferSec: bufAt(c.DoneTime)}
+		if dt := c.DoneTime - c.ReqTime; dt > 0 {
+			row.Throughput = float64(c.Size) * 8 / dt
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,192 @@
+package shaping
+
+import (
+	"testing"
+
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/qoe"
+	"csi/internal/session"
+)
+
+func testManifest(t *testing.T) *media.Manifest {
+	t.Helper()
+	ladder := []media.Rung{
+		{Bitrate: 250_000}, {Bitrate: 650_000}, {Bitrate: 1_500_000}, {Bitrate: 3_000_000},
+	}
+	return media.MustEncode(media.EncodeConfig{
+		Name: "shape", Seed: 21, DurationSec: 600, ChunkDur: 5, TargetPASR: 1.3, Ladder: ladder,
+	})
+}
+
+func TestConditions(t *testing.T) {
+	conds, err := Conditions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conds["B1"].RateAt(100) != 10_000_000/8 {
+		t.Fatalf("B1 rate = %g", conds["B1"].RateAt(100))
+	}
+	// B2 must dip to 1 Mbit/s somewhere in each period.
+	sawLow := false
+	for ts := 0.0; ts < 60; ts++ {
+		if conds["B2"].RateAt(ts) < 200_000 {
+			sawLow = true
+		}
+	}
+	if !sawLow {
+		t.Fatal("B2 never dips")
+	}
+}
+
+func TestHigherRateRaisesQualityAndUsage(t *testing.T) {
+	man := testManifest(t)
+	conds, err := Conditions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := RunPoint(man, "B1", conds["B1"], 1_000_000, 50_000, 180, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RunPoint(man, "B1", conds["B1"], 3_000_000, 50_000, 180, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.DataBytes <= low.DataBytes {
+		t.Errorf("data usage did not grow with rate: %d vs %d", low.DataBytes, high.DataBytes)
+	}
+	avgTrack := func(p *Point) float64 {
+		s := 0.0
+		for tr, share := range p.TrackShare {
+			s += float64(tr) * share
+		}
+		return s
+	}
+	if avgTrack(high) <= avgTrack(low) {
+		t.Errorf("track quality did not grow with rate: %.2f vs %.2f", avgTrack(low), avgTrack(high))
+	}
+	if !low.Inferred || !high.Inferred {
+		t.Error("behaviour not read via CSI")
+	}
+}
+
+func TestLargerBucketRaisesUsage(t *testing.T) {
+	man := testManifest(t)
+	conds, err := Conditions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := RunPoint(man, "B2", conds["B2"], 1_500_000, 50_000, 240, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunPoint(man, "B2", conds["B2"], 1_500_000, 5_000_000, 240, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.DataBytes <= small.DataBytes {
+		t.Errorf("N=5MB usage %d <= N=50KB usage %d (paper: ~2x)", big.DataBytes, small.DataBytes)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	man := testManifest(t)
+	rows, err := TimeSeries(man, netem.Constant(2_000_000), nil, 180, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	// §7: with a stable 2 Mbit/s link the Hulu-like player converges to a
+	// track encoded at <= 1 Mbit/s.
+	last := rows[len(rows)-1]
+	if br := man.Tracks[last.Track].Bitrate; float64(br) > 1_000_000 {
+		t.Errorf("converged to track with bitrate %d > bw/2", br)
+	}
+	for _, r := range rows {
+		if r.BufferSec < 0 {
+			t.Fatalf("negative buffer: %+v", r)
+		}
+	}
+}
+
+// §7 infers client buffer occupancy from encrypted traffic. When the chunk
+// sequence is inferred correctly, the buffer timeline reconstructed from it
+// must track the one reconstructed from ground truth.
+func TestInferredBufferTracksTruth(t *testing.T) {
+	man := testManifest(t)
+	conds, err := Conditions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := RunPoint(man, "B1", conds["B1"], 2_000_000, 50_000, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Inferred {
+		t.Fatal("behaviour not inferred via CSI")
+	}
+	// Re-run the same session to get both chunk sets.
+	cfg := sessionConfigForTest(man, conds["B1"], 2_000_000, 50_000, 200, 9)
+	res, err := session.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := core.Infer(man, res.Run.Trace, core.Params{MediaHost: man.Host})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infChunks := chunksFromInference(inf, man)
+	truthChunks := chunksFromTruth(res.Run.Truth)
+	qc := qoe.Config{ChunkDur: man.ChunkDur, Horizon: 200}
+	ri, err := qoe.Analyze(infChunks, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := qoe.Analyze(truthChunks, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(rep *qoe.Report, ts float64) float64 {
+		b := 0.0
+		for _, s := range rep.Buffer {
+			if s.T > ts {
+				break
+			}
+			b = s.Buffer
+		}
+		return b
+	}
+	var maxDiff float64
+	for ts := 10.0; ts < 195; ts += 5 {
+		d := at(ri, ts) - at(rt, ts)
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	// Download completion is estimated from the last captured data packet,
+	// which precedes client-side delivery by up to the queueing delay;
+	// allow a one-chunk tolerance.
+	if maxDiff > man.ChunkDur+1 {
+		t.Errorf("inferred buffer deviates from truth by up to %.1f s", maxDiff)
+	}
+}
+
+func sessionConfigForTest(man *media.Manifest, tr *netem.BandwidthTrace, r float64, n int64, dur float64, seed int64) session.Config {
+	cfg := session.Config{
+		Design:    session.CH,
+		Manifest:  man,
+		Bandwidth: tr,
+		Shaper:    &netem.TokenBucketConfig{RateBps: r, BucketSize: n},
+		Duration:  dur,
+		Seed:      seed,
+	}
+	huluSession(&cfg)
+	return cfg
+}

@@ -1,0 +1,152 @@
+// Package stats provides small numeric helpers used across the simulator
+// and the experiment drivers: percentiles, summaries and seeded RNG
+// construction. Keeping these in one place guarantees all experiments use
+// identical definitions (e.g. the percentile interpolation rule).
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a deterministic PRNG for the given seed. All randomness in
+// the repository flows through explicit seeds so experiment outputs are
+// reproducible.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted. Returns 0 for
+// an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median is Percentile(xs, 50).
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary bundles the descriptive statistics the paper's tables report.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	P5     float64
+	P95    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return Summary{
+		N:      len(s),
+		Mean:   Mean(s),
+		Median: percentileSorted(s, 50),
+		P5:     percentileSorted(s, 5),
+		P95:    percentileSorted(s, 95),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+	}
+}
+
+// FractionAbove returns the fraction of xs strictly greater than thr.
+func FractionAbove(xs []float64, thr float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > thr {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FractionAtLeast returns the fraction of xs >= thr.
+func FractionAtLeast(xs []float64, thr float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= thr {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

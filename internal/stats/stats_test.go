@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75}, {75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%v, %g) = %g, want %g", xs, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingleAndEmpty(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %g, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 95); got != 7 {
+		t.Errorf("single percentile = %g, want 7", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || !almost(s.Mean, 3) || !almost(s.Median, 3) || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestFractions(t *testing.T) {
+	xs := []float64{0.9, 0.95, 1.0, 1.0}
+	if got := FractionAtLeast(xs, 1.0); !almost(got, 0.5) {
+		t.Errorf("FractionAtLeast = %g, want 0.5", got)
+	}
+	if got := FractionAbove(xs, 0.95); !almost(got, 0.5) {
+		t.Errorf("FractionAbove = %g, want 0.5", got)
+	}
+	if got := FractionAtLeast(nil, 1); got != 0 {
+		t.Errorf("empty FractionAtLeast = %g", got)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		return pa <= pb+1e-9 && pa >= Min(xs)-1e-9 && pb <= Max(xs)+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("NewRand not deterministic for equal seeds")
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package tlssim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"csi/internal/netem"
+	"csi/internal/packet"
+	"csi/internal/sim"
+	"csi/internal/tcpsim"
+)
+
+type harness struct {
+	eng      *sim.Engine
+	conn     *tcpsim.Conn
+	sess     *Session
+	downCaps []packet.View
+	upCaps   []packet.View
+}
+
+func newHarness(t *testing.T, loss float64) *harness {
+	t.Helper()
+	h := &harness{eng: sim.New()}
+	up := netem.NewLink(h.eng, netem.LinkConfig{Trace: netem.Constant(50_000_000), Delay: 0.02},
+		func(p *packet.Packet) { p.Arrive(h.eng.Now()) })
+	down := netem.NewLink(h.eng, netem.LinkConfig{
+		Trace: netem.Constant(8_000_000), Delay: 0.02, LossProb: loss, Seed: 4, QueueCap: 1 << 20,
+	}, func(p *packet.Packet) { p.Arrive(h.eng.Now()) })
+	up.SetTap(func(v packet.View, now float64) { h.upCaps = append(h.upCaps, v) })
+	down.SetTap(func(v packet.View, now float64) { h.downCaps = append(h.downCaps, v) })
+	h.conn = tcpsim.NewConn(h.eng, tcpsim.Config{ConnID: 9}, up, down)
+	h.sess = NewSession(h.conn)
+	return h
+}
+
+func TestWireSize(t *testing.T) {
+	cases := []struct{ n, want int64 }{
+		{1, 1 + 21},
+		{16384, 16384 + 21},
+		{16385, 16385 + 42},
+		{100_000, 100_000 + 7*21},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := WireSize(c.n); got != c.want {
+			t.Errorf("WireSize(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHandshakeAndAppData(t *testing.T) {
+	h := newHarness(t, 0)
+	var ready, done float64
+	h.conn.Start(func(now float64) {
+		h.sess.Handshake("media.example.com", func(now float64) {
+			ready = now
+			h.sess.Up.Write(400, AppData, func(now float64) {
+				h.sess.Down.Write(200_000, AppData, func(now float64) { done = now })
+			})
+		})
+	})
+	h.eng.Run()
+	if ready == 0 || done == 0 {
+		t.Fatalf("handshake/app incomplete: ready=%g done=%g", ready, done)
+	}
+}
+
+func TestSNIVisibleOnClientHello(t *testing.T) {
+	h := newHarness(t, 0)
+	h.conn.Start(func(now float64) {
+		h.sess.Handshake("video.cdn.test", func(now float64) {})
+	})
+	h.eng.Run()
+	found := false
+	for _, v := range h.upCaps {
+		if v.SNI == "video.cdn.test" {
+			found = true
+			if v.TLSHSBytes == 0 {
+				t.Error("SNI packet should carry handshake record bytes")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("SNI not visible in captured uplink")
+	}
+}
+
+// The monitor's TLS arithmetic: summing per-packet TLSAppBytes (after SEQ
+// dedup, but there is no loss here) must bound the true payload from above
+// within 1% — Property 1 for HTTPS.
+func TestHTTPSEstimationOverhead(t *testing.T) {
+	h := newHarness(t, 0)
+	const size = 1_000_000
+	var done bool
+	h.conn.Start(func(now float64) {
+		h.sess.Handshake("x", func(now float64) {
+			h.sess.Up.Write(400, AppData, func(now float64) {
+				h.sess.Down.Write(size, AppData, func(now float64) { done = true })
+			})
+		})
+	})
+	h.eng.Run()
+	if !done {
+		t.Fatal("incomplete")
+	}
+	var app, hs int64
+	for _, v := range h.downCaps {
+		app += v.TLSAppBytes
+		hs += v.TLSHSBytes
+	}
+	if app < size {
+		t.Fatalf("estimated %d < true %d", app, size)
+	}
+	if float64(app) > 1.01*float64(size) {
+		t.Fatalf("estimated %d > 1.01 * %d (ratio %.5f)", app, size, float64(app)/float64(size))
+	}
+	if hs == 0 {
+		t.Fatal("no handshake bytes classified on downlink (server flight missing)")
+	}
+}
+
+// Classification must exactly partition the stream: app + hs + record
+// headers == total TCP payload bytes, packet by packet.
+func TestClassificationPartitionsStream(t *testing.T) {
+	h := newHarness(t, 0.02)
+	var done bool
+	h.conn.Start(func(now float64) {
+		h.sess.Handshake("x", func(now float64) {
+			h.sess.Down.Write(300_000, AppData, func(now float64) { done = true })
+		})
+	})
+	h.eng.Run()
+	if !done {
+		t.Fatal("incomplete")
+	}
+	for _, v := range h.downCaps {
+		if v.TCPPayload == 0 {
+			continue
+		}
+		hdr := v.TCPPayload - v.TLSAppBytes - v.TLSHSBytes
+		if hdr < 0 {
+			t.Fatalf("packet at seq %d: classified bytes exceed payload", v.TCPSeq)
+		}
+		// Record headers are 5 bytes per record; a packet can cover at
+		// most payload/5+1 headers.
+		if hdr > v.TCPPayload/5+5 {
+			t.Fatalf("packet at seq %d: implausible header byte count %d of %d",
+				v.TCPSeq, hdr, v.TCPPayload)
+		}
+	}
+}
+
+func TestMultipleMessagesKeepOrder(t *testing.T) {
+	h := newHarness(t, 0.03)
+	var order []int
+	h.conn.Start(func(now float64) {
+		h.sess.Handshake("x", func(now float64) {
+			h.sess.Down.Write(50_000, AppData, func(now float64) { order = append(order, 1) })
+			h.sess.Down.Write(70_000, AppData, func(now float64) { order = append(order, 2) })
+			h.sess.Down.Write(20_000, AppData, func(now float64) { order = append(order, 3) })
+		})
+	})
+	h.eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("delivery order %v, want [1 2 3]", order)
+	}
+}
+
+// Property: for ANY split of the stream into ranges, the per-range
+// classification sums to exactly the stream totals — the monitor's
+// arithmetic cannot depend on packetization.
+func TestClassifyPartitionInvariantProperty(t *testing.T) {
+	eng := sim.New()
+	up := netem.NewLink(eng, netem.LinkConfig{Trace: netem.Constant(50_000_000)}, func(p *packet.Packet) { p.Arrive(eng.Now()) })
+	down := netem.NewLink(eng, netem.LinkConfig{Trace: netem.Constant(50_000_000)}, func(p *packet.Packet) { p.Arrive(eng.Now()) })
+	conn := tcpsim.NewConn(eng, tcpsim.Config{ConnID: 1}, up, down)
+	sess := NewSession(conn)
+	// Frame a mixture of handshake and app payloads.
+	var wantApp, wantHS int64
+	payloads := []struct {
+		n    int64
+		kind Kind
+	}{{330, Handshake}, {40_000, AppData}, {4300, Handshake}, {123, AppData}, {17_000, AppData}}
+	var wire int64
+	for _, pl := range payloads {
+		sess.Down.Write(pl.n, pl.kind, nil)
+		records := (pl.n + MaxRecordSize - 1) / MaxRecordSize
+		body := pl.n + records*AEADTag
+		wire += body + records*RecordHeader
+		if pl.kind == AppData {
+			wantApp += body
+		} else {
+			wantHS += body
+		}
+	}
+	f := func(cutsRaw []uint16) bool {
+		// Build a random partition of [0, wire).
+		cuts := []int64{0, wire}
+		for _, c := range cutsRaw {
+			cuts = append(cuts, int64(c)%wire)
+		}
+		sortInt64(cuts)
+		var app, hs int64
+		for i := 1; i < len(cuts); i++ {
+			a, h := sess.Down.classify(cuts[i-1], cuts[i])
+			app += a
+			hs += h
+		}
+		return app == wantApp && hs == wantHS
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortInt64(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package uniq
+
+import (
+	"testing"
+
+	"csi/internal/media"
+	"csi/internal/stats"
+)
+
+func encodePASR(t *testing.T, pasr float64) *media.Manifest {
+	t.Helper()
+	return media.MustEncode(media.EncodeConfig{
+		Name: "u", Seed: 31, DurationSec: 600, ChunkDur: 5, TargetPASR: pasr,
+	})
+}
+
+func TestSimilar(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		k    float64
+		want bool
+	}{
+		{100, 100, 0, true},
+		{100, 101, 0, false},
+		{100, 101, 0.01, true},
+		{100, 105, 0.01, false},
+		{100, 105, 0.05, true},
+		{1000, 1050, 0.05, true},
+		{105, 100, 0.05, true}, // symmetry
+		{1000, 1051, 0.05, false},
+		{1000, 1051, 0.01, false},
+	}
+	for _, c := range cases {
+		if got := Similar(c.a, c.b, c.k); got != c.want {
+			t.Errorf("Similar(%d,%d,%g) = %v, want %v", c.a, c.b, c.k, got, c.want)
+		}
+	}
+}
+
+// Q1 of the paper: single chunks are essentially never unique, at any PASR.
+func TestSingleChunksNotUnique(t *testing.T) {
+	for _, pasr := range []float64{1.1, 1.5, 2.0} {
+		man := encodePASR(t, pasr)
+		a, err := New(man, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := a.UniqueFraction(1, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f > 0.006 {
+			t.Errorf("PASR %.1f: %.4f of single chunks unique, want essentially none", pasr, f)
+		}
+	}
+}
+
+// Q2: uniqueness grows rapidly with sequence length.
+func TestUniquenessGrowsWithLength(t *testing.T) {
+	man := encodePASR(t, 1.3)
+	a, err := New(man, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(7)
+	prev := -1.0
+	for _, L := range []int{1, 3, 6} {
+		f, err := a.UniqueFraction(L, 3000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < prev-0.05 {
+			t.Errorf("unique fraction dropped with length: L=%d f=%.3f prev=%.3f", L, f, prev)
+		}
+		prev = f
+	}
+	if prev < 0.95 {
+		t.Errorf("6-chunk unique fraction %.3f, expected near 1 at k=1%%", prev)
+	}
+}
+
+// Larger k (QUIC) must not increase uniqueness.
+func TestLargerKLessUnique(t *testing.T) {
+	man := encodePASR(t, 1.3)
+	a1, _ := New(man, 0.01)
+	a5, _ := New(man, 0.05)
+	f1, err := a1.UniqueFraction(3, 3000, stats.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := a5.UniqueFraction(3, 3000, stats.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5 > f1+0.02 {
+		t.Errorf("k=5%% unique fraction %.3f > k=1%% %.3f", f5, f1)
+	}
+}
+
+// Brute-force cross-check of IsUnique on a tiny hand-made manifest.
+func TestIsUniqueAgainstBruteForce(t *testing.T) {
+	man := &media.Manifest{
+		Name: "tiny", ChunkDur: 5,
+		Tracks: []media.Track{
+			{ID: 0, Kind: media.Video, Bitrate: 100, Sizes: []int64{100, 200, 300, 405, 500}},
+			{ID: 1, Kind: media.Video, Bitrate: 200, Sizes: []int64{101, 250, 310, 500, 700}},
+		},
+	}
+	k := 0.02
+	a, err := New(man, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, T, L := 5, 2, 2
+	type seq struct {
+		s      int
+		tracks [2]int
+	}
+	var all []seq
+	for s := 0; s+L <= n; s++ {
+		for t0 := 0; t0 < T; t0++ {
+			for t1 := 0; t1 < T; t1++ {
+				all = append(all, seq{s, [2]int{t0, t1}})
+			}
+		}
+	}
+	size := func(q seq, m int) int64 { return man.Tracks[q.tracks[m]].Sizes[q.s+m] }
+	similarSeq := func(x, y seq) bool {
+		for m := 0; m < L; m++ {
+			if !Similar(size(x, m), size(y, m), k) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, x := range all {
+		want := true
+		for _, y := range all {
+			if x == y {
+				continue
+			}
+			if similarSeq(x, y) {
+				want = false
+				break
+			}
+		}
+		got := a.IsUnique(x.s, x.tracks[:])
+		if got != want {
+			t.Errorf("IsUnique(start=%d tracks=%v) = %v, brute force %v", x.s, x.tracks, got, want)
+		}
+	}
+}
+
+func TestAnalyzeVideo(t *testing.T) {
+	man := encodePASR(t, 1.5)
+	vu, err := AnalyzeVideo(man, 0.01, []int{1, 3, 6}, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vu.PASR < 1.3 || vu.PASR > 1.7 {
+		t.Errorf("PASR = %.2f, want ~1.5", vu.PASR)
+	}
+	if len(vu.Unique) != 3 {
+		t.Errorf("Unique lengths = %d, want 3", len(vu.Unique))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	man := encodePASR(t, 1.5)
+	if _, err := New(man, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+	a, _ := New(man, 0.01)
+	if _, err := a.UniqueFraction(0, 10, nil); err == nil {
+		t.Error("L=0 accepted")
+	}
+	if _, err := a.UniqueFraction(10_000, 10, nil); err == nil {
+		t.Error("oversized L accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Package webproto provides the application layer of the streaming stack:
+// HTTP/1.1-over-TLS (HTTPS) and HTTP/3-over-QUIC request/response semantics
+// for fetching ABR chunks from a chunk server.
+//
+// Requests carry encrypted URLs; all the monitor sees is an uplink packet of
+// a few hundred bytes. Responses are HTTP headers plus the chunk body. On an
+// HTTPS connection the player never pipelines: at most one request is
+// outstanding (§5.2 of the paper). On QUIC each request opens a new stream,
+// and concurrent requests multiplex (the SQ design).
+package webproto
+
+import (
+	"fmt"
+	"math/rand"
+
+	"csi/internal/media"
+	"csi/internal/quicsim"
+	"csi/internal/stats"
+	"csi/internal/tlssim"
+)
+
+// Request/response header size model: base size plus deterministic
+// per-request jitter (cookies, varying header values).
+const (
+	requestBase    = 380
+	requestJitter  = 60
+	responseBase   = 310
+	responseJitter = 40
+)
+
+// Fetcher downloads one chunk at a time and reports completion.
+type Fetcher interface {
+	// Fetch requests the chunk and calls done when the response has been
+	// fully received. Implementations enforce the one-outstanding-request
+	// rule where the transport requires it.
+	Fetch(ref media.ChunkRef, done func(now float64))
+}
+
+// HTTPSFetcher issues sequential HTTP/1.1 requests over one TLS session.
+type HTTPSFetcher struct {
+	sess        *tlssim.Session
+	man         *media.Manifest
+	rng         *rand.Rand
+	outstanding bool
+
+	Requests int64
+}
+
+// NewHTTPSFetcher wraps an established (post-handshake) TLS session.
+func NewHTTPSFetcher(sess *tlssim.Session, man *media.Manifest, seed int64) *HTTPSFetcher {
+	return &HTTPSFetcher{sess: sess, man: man, rng: stats.NewRand(seed)}
+}
+
+// Fetch implements Fetcher.
+func (f *HTTPSFetcher) Fetch(ref media.ChunkRef, done func(now float64)) {
+	if f.outstanding {
+		panic(fmt.Sprintf("webproto: pipelined request for chunk %+v on HTTPS connection", ref))
+	}
+	f.outstanding = true
+	f.Requests++
+	reqSize := int64(requestBase + f.rng.Intn(requestJitter))
+	respSize := int64(responseBase+f.rng.Intn(responseJitter)) + f.man.Size(ref)
+	f.sess.Up.Write(reqSize, tlssim.AppData, func(now float64) {
+		// Runs at the server when the request is fully received.
+		f.sess.Down.Write(respSize, tlssim.AppData, func(now float64) {
+			f.outstanding = false
+			done(now)
+		})
+	})
+}
+
+// QUICFetcher issues HTTP/3 requests, one fresh client-initiated
+// bidirectional stream per request (IDs 0, 4, 8, ...). Multiple fetches may
+// be outstanding at once; their response bytes multiplex on the connection.
+type QUICFetcher struct {
+	conn    *quicsim.Conn
+	man     *media.Manifest
+	rng     *rand.Rand
+	nextSID int64
+
+	Requests    int64
+	Outstanding int
+}
+
+// NewQUICFetcher wraps an established (post-handshake) QUIC connection.
+func NewQUICFetcher(conn *quicsim.Conn, man *media.Manifest, seed int64) *QUICFetcher {
+	return &QUICFetcher{conn: conn, man: man, rng: stats.NewRand(seed)}
+}
+
+// Fetch implements Fetcher.
+func (f *QUICFetcher) Fetch(ref media.ChunkRef, done func(now float64)) {
+	sid := f.nextSID
+	f.nextSID += 4
+	f.Requests++
+	f.Outstanding++
+	reqSize := int64(requestBase + f.rng.Intn(requestJitter))
+	respSize := int64(responseBase+f.rng.Intn(responseJitter)) + f.man.Size(ref)
+	f.conn.Client.Write(sid, reqSize, func(now float64) {
+		f.conn.Server.Write(sid, respSize, func(now float64) {
+			f.Outstanding--
+			done(now)
+		})
+	})
+}

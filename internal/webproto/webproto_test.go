@@ -1,0 +1,124 @@
+package webproto
+
+import (
+	"testing"
+
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/packet"
+	"csi/internal/quicsim"
+	"csi/internal/sim"
+	"csi/internal/tcpsim"
+	"csi/internal/tlssim"
+)
+
+func testManifest(t *testing.T) *media.Manifest {
+	t.Helper()
+	return media.MustEncode(media.EncodeConfig{
+		Name: "wp", Seed: 5, DurationSec: 100, ChunkDur: 5, TargetPASR: 1.3, AudioTracks: 1,
+	})
+}
+
+func newLinks(eng *sim.Engine) (up, down *netem.Link) {
+	up = netem.NewLink(eng, netem.LinkConfig{Trace: netem.Constant(20_000_000), Delay: 0.02},
+		func(p *packet.Packet) { p.Arrive(eng.Now()) })
+	down = netem.NewLink(eng, netem.LinkConfig{Trace: netem.Constant(8_000_000), Delay: 0.02, QueueCap: 1 << 20},
+		func(p *packet.Packet) { p.Arrive(eng.Now()) })
+	return up, down
+}
+
+func TestHTTPSFetchSequence(t *testing.T) {
+	man := testManifest(t)
+	eng := sim.New()
+	up, down := newLinks(eng)
+	conn := tcpsim.NewConn(eng, tcpsim.Config{ConnID: 1}, up, down)
+	sess := tlssim.NewSession(conn)
+	f := NewHTTPSFetcher(sess, man, 1)
+	var doneTimes []float64
+	conn.Start(func(now float64) {
+		sess.Handshake("h", func(now float64) {
+			var next func(i int)
+			next = func(i int) {
+				if i >= 3 {
+					return
+				}
+				f.Fetch(media.ChunkRef{Track: 0, Index: i}, func(now float64) {
+					doneTimes = append(doneTimes, now)
+					next(i + 1)
+				})
+			}
+			next(0)
+		})
+	})
+	eng.Run()
+	if len(doneTimes) != 3 {
+		t.Fatalf("completed %d fetches, want 3", len(doneTimes))
+	}
+	for i := 1; i < len(doneTimes); i++ {
+		if doneTimes[i] <= doneTimes[i-1] {
+			t.Fatal("fetch completions out of order")
+		}
+	}
+	if f.Requests != 3 {
+		t.Fatalf("requests = %d", f.Requests)
+	}
+}
+
+func TestHTTPSFetcherRejectsPipelining(t *testing.T) {
+	man := testManifest(t)
+	eng := sim.New()
+	up, down := newLinks(eng)
+	conn := tcpsim.NewConn(eng, tcpsim.Config{ConnID: 1}, up, down)
+	sess := tlssim.NewSession(conn)
+	f := NewHTTPSFetcher(sess, man, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pipelined Fetch did not panic")
+		}
+	}()
+	conn.Start(func(now float64) {
+		sess.Handshake("h", func(now float64) {
+			f.Fetch(media.ChunkRef{Track: 0, Index: 0}, func(now float64) {})
+			f.Fetch(media.ChunkRef{Track: 0, Index: 1}, func(now float64) {})
+		})
+	})
+	eng.Run()
+}
+
+func TestQUICFetcherConcurrent(t *testing.T) {
+	man := testManifest(t)
+	eng := sim.New()
+	up, down := newLinks(eng)
+	conn := quicsim.NewConn(eng, quicsim.Config{ConnID: 1}, up, down)
+	f := NewQUICFetcher(conn, man, 1)
+	var done int
+	conn.Start("h", func(now float64) {
+		// Concurrent audio + video fetch: allowed on QUIC (multiplexing).
+		f.Fetch(media.ChunkRef{Track: 0, Index: 0}, func(now float64) { done++ })
+		f.Fetch(media.ChunkRef{Track: 6, Index: 0}, func(now float64) { done++ })
+		if f.Outstanding != 2 {
+			t.Errorf("outstanding = %d, want 2", f.Outstanding)
+		}
+	})
+	eng.Run()
+	if done != 2 {
+		t.Fatalf("completed %d fetches, want 2", done)
+	}
+	if f.Outstanding != 0 {
+		t.Fatalf("outstanding = %d after completion", f.Outstanding)
+	}
+}
+
+// Response sizes on the wire must stay within the estimator's assumptions:
+// body + [280, 350] bytes of headers.
+func TestResponseHeaderBounds(t *testing.T) {
+	if responseBase < 280 {
+		t.Fatalf("responseBase %d below the estimator's MinResponseHeaderBytes=280", responseBase)
+	}
+	if responseBase+responseJitter > 400 {
+		t.Fatalf("max response header %d implausibly large", responseBase+responseJitter)
+	}
+	if requestBase <= 80 {
+		t.Fatalf("request size %d would be mistaken for a QUIC ACK", requestBase)
+	}
+}
