@@ -1,0 +1,19 @@
+# Developer entry points. `make check` is the single pre-merge gate.
+
+.PHONY: check build test vet race
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+	go run ./cmd/csi-vet ./...
+
+race:
+	go test -race ./...

@@ -1,0 +1,82 @@
+// Command csi-vet runs the repository's static-analysis suite: repo-specific
+// determinism and inference-correctness rules that ordinary go vet cannot
+// know about. It exits nonzero when any rule fires.
+//
+// Usage:
+//
+//	csi-vet [flags] [packages]
+//
+// Packages are module-relative patterns ("./...", "internal/core",
+// "internal/..."); the default is "./...". Scopes and allowlists come from
+// built-in policy (internal/analysis.DefaultConfig) merged with the
+// module's .csi-vet.conf. See DESIGN.md "Correctness tooling".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"csi/internal/analysis"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list registered rules and exit")
+		rules = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, az := range analysis.All {
+			fmt.Printf("%-12s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+
+	azs := analysis.All
+	if *rules != "" {
+		var unknown []string
+		azs, unknown = analysis.ByName(strings.Split(*rules, ","))
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "csi-vet: unknown rules: %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	modDir, _, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := analysis.LoadConfig(modDir)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(wd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(os.Stderr, "csi-vet: no packages match %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	diags := analysis.RunAnalyzers(pkgs, azs, cfg)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "csi-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "csi-vet: %v\n", err)
+	os.Exit(2)
+}

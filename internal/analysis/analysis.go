@@ -1,0 +1,185 @@
+// Package analysis is a self-contained static-analysis framework for the
+// csi module, built only on the standard library's go/ast, go/parser,
+// go/token, and go/types. It exists to machine-enforce the correctness
+// invariants the CSI reproduction depends on: the discrete-event
+// simulators must be bit-for-bit deterministic, the size-matching core
+// must never compare floats with ==, library packages must not write to
+// stdout, and experiment reports must not depend on map iteration order.
+//
+// The framework loads every package of the module through a shared
+// type-checked load (LoadModule), then runs each registered Analyzer over
+// each package in its configured scope (RunAnalyzers). Adding a rule is a
+// ~50-line change: implement Run(*Pass), append the Analyzer to All, and
+// drop a violating file plus a .golden file under testdata/.
+//
+// Findings can be suppressed three ways, from coarse to fine: a scope
+// entry restricts a rule to a subtree, an allow entry in the config (or
+// the module's .csi-vet.conf) exempts a file or directory, and a
+// "//csi-vet:ignore <rule> -- <reason>" comment on the offending line (or
+// the line above) exempts a single site.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named rule. Run inspects a type-checked package and
+// reports findings through the Pass.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics, config directives,
+	// and ignore comments (e.g. "determinism").
+	Name string
+	// Doc is a one-line description printed by csi-vet -list.
+	Doc string
+	// Run inspects pass.Files and calls pass.Reportf for each finding.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, positioned at a token.Position whose
+// Filename is relative to the module root.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// A Pass couples one Analyzer run to one Package. It exposes the package
+// syntax and type information and collects diagnostics.
+type Pass struct {
+	*Package
+	Rule  string
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	position.Filename = p.relFilename(position.Filename)
+	p.diags = append(p.diags, Diagnostic{Pos: position, Rule: p.Rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// relFilename maps an absolute parsed filename back to the module-relative
+// name recorded at load time.
+func (p *Pass) relFilename(abs string) string {
+	for i, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename == abs {
+			return p.Filenames[i]
+		}
+	}
+	return abs
+}
+
+// RunAnalyzer applies one analyzer to one package, honoring ignore
+// comments but not the config (scope and allowlists are the driver's
+// concern; see RunAnalyzers). Exposed for golden-file self-tests.
+func RunAnalyzer(az *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{Package: pkg, Rule: az.Name}
+	az.Run(pass)
+	return suppressIgnored(pkg, pass.diags)
+}
+
+// RunAnalyzers applies every analyzer to every package within its
+// configured scope, drops allowlisted and ignore-commented findings, and
+// returns the remainder sorted by file, line, column, and rule.
+func RunAnalyzers(pkgs []*Package, azs []*Analyzer, cfg *Config) []Diagnostic {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, az := range azs {
+			if !cfg.inScope(az.Name, pkg.RelPath) {
+				continue
+			}
+			for _, d := range RunAnalyzer(az, pkg) {
+				if cfg.allowed(az.Name, d.Pos.Filename) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// IgnorePrefix starts a line-level suppression comment:
+//
+//	//csi-vet:ignore <rule>[,<rule>...] [-- reason]
+//
+// The comment suppresses matching findings on its own line and on the
+// line directly below it (so it works both as a trailing comment and as a
+// directive above the offending statement).
+const IgnorePrefix = "csi-vet:ignore"
+
+func suppressIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// ignored["file:line"] = set of rules suppressed at that line.
+	ignored := map[string]map[string]bool{}
+	mark := func(file string, line int, rules []string) {
+		for _, off := range []int{0, 1} {
+			key := fmt.Sprintf("%s:%d", file, line+off)
+			if ignored[key] == nil {
+				ignored[key] = map[string]bool{}
+			}
+			for _, r := range rules {
+				ignored[key][strings.TrimSpace(r)] = true
+			}
+		}
+	}
+	for i, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+				rest, ok := strings.CutPrefix(text, IgnorePrefix)
+				if !ok {
+					continue
+				}
+				if reason := strings.SplitN(rest, "--", 2); len(reason) > 0 {
+					rest = reason[0]
+				}
+				rules := strings.Split(strings.TrimSpace(rest), ",")
+				mark(pkg.Filenames[i], pkg.Fset.Position(c.Pos()).Line, rules)
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if ignored[key][d.Rule] || ignored[key]["all"] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// inspect walks every file of the pass in source order, calling fn for
+// each node; fn returning false prunes the subtree.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

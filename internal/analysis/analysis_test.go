@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata golden files")
+
+// TestGolden runs every registered analyzer over its testdata package and
+// compares the rendered diagnostics against testdata/<rule>.golden. Each
+// testdata package contains both seeded violations and compliant code, so
+// a match proves the rule fires where it must and stays silent where it
+// must not.
+func TestGolden(t *testing.T) {
+	for _, az := range All {
+		t.Run(az.Name, func(t *testing.T) {
+			pkg, err := LoadDir(filepath.Join("testdata", "src", az.Name))
+			if err != nil {
+				t.Fatalf("loading testdata: %v", err)
+			}
+			var b strings.Builder
+			for _, d := range RunAnalyzer(az, pkg) {
+				fmt.Fprintln(&b, d)
+			}
+			got := b.String()
+			if got == "" {
+				t.Fatalf("analyzer %s produced no findings on its violation file", az.Name)
+			}
+			goldenPath := filepath.Join("testdata", az.Name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestRepoIsVetClean enforces the csi-vet gate from within go test: the
+// whole module, under the shipped policy and .csi-vet.conf, must produce
+// zero findings.
+func TestRepoIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	modDir, _, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(modDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(".", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected to load the full module, got %d packages", len(pkgs))
+	}
+	for _, d := range RunAnalyzers(pkgs, All, cfg) {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	found, unknown := ByName([]string{"floatcmp", "nope", "maporder"})
+	if len(found) != 2 || found[0] != Floatcmp || found[1] != Maporder {
+		t.Errorf("found = %v", found)
+	}
+	if len(unknown) != 1 || unknown[0] != "nope" {
+		t.Errorf("unknown = %v", unknown)
+	}
+}
+
+func TestAnalyzerNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, az := range All {
+		if az.Name == "" || az.Doc == "" || az.Run == nil {
+			t.Errorf("analyzer %q incompletely registered", az.Name)
+		}
+		if seen[az.Name] {
+			t.Errorf("duplicate analyzer name %q", az.Name)
+		}
+		seen[az.Name] = true
+	}
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Config scopes rules to package subtrees and exempts files from rules.
+//
+// Scope maps a rule name to the package directories (module-relative) it
+// runs in: an entry ending in "/" is a recursive prefix, "." is the module
+// root package, anything else is an exact directory. A rule with no scope
+// entries runs everywhere.
+//
+// Allow maps a rule name to file patterns that are exempt: an entry ending
+// in "/" exempts a whole subtree, anything else exempts that exact file
+// (module-relative). The special rule name "all" applies to every rule.
+type Config struct {
+	Scope map[string][]string
+	Allow map[string][]string
+}
+
+// DefaultConfig returns the repository policy: every rule is restricted to
+// library code (internal/... and the root package), with per-rule scopes
+// narrowed further where the invariant only applies to specific packages.
+// cmd/ and examples/ are out of scope by construction — wall-clock reads
+// and stdout writes belong there.
+func DefaultConfig() *Config {
+	library := []string{".", "internal/"}
+	return &Config{
+		Scope: map[string][]string{
+			"determinism": library,
+			"floatcmp":    {"internal/core", "internal/stats", "internal/qoe", "internal/ivl"},
+			"noprint":     {"internal/"},
+			"errcheck":    library,
+			"maporder":    library,
+		},
+		Allow: map[string][]string{},
+	}
+}
+
+// inScope reports whether rule runs in the package directory relDir.
+func (c *Config) inScope(rule, relDir string) bool {
+	scopes, ok := c.Scope[rule]
+	if !ok || len(scopes) == 0 {
+		return true
+	}
+	for _, s := range scopes {
+		if matchPath(s, relDir) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowed reports whether file relFile is exempt from rule.
+func (c *Config) allowed(rule, relFile string) bool {
+	for _, r := range []string{rule, "all"} {
+		for _, a := range c.Allow[r] {
+			if matchPath(a, relFile) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchPath matches pattern against a slash-separated module-relative
+// path: a trailing "/" makes the pattern a recursive prefix, otherwise the
+// match is exact (with "." naming the module root).
+func matchPath(pattern, path string) bool {
+	if strings.HasSuffix(pattern, "/") {
+		prefix := strings.TrimSuffix(pattern, "/")
+		return path == prefix || strings.HasPrefix(path, pattern)
+	}
+	return path == pattern
+}
+
+// ConfigFile is the per-module allowlist file csi-vet reads from the
+// module root when present.
+const ConfigFile = ".csi-vet.conf"
+
+// ParseConfig merges directives from conf-file text into cfg. The format
+// is line-oriented; "#" starts a comment. Directives:
+//
+//	allow <rule> <path>   exempt a file (or, with trailing "/", a subtree)
+//	scope <rule> <path>   append a scope entry for the rule
+//
+// Unknown directives are errors, so typos fail loudly rather than
+// silently weakening the policy.
+func ParseConfig(cfg *Config, text, filename string) error {
+	if cfg.Allow == nil {
+		cfg.Allow = map[string][]string{}
+	}
+	if cfg.Scope == nil {
+		cfg.Scope = map[string][]string{}
+	}
+	for i, line := range strings.Split(text, "\n") {
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return fmt.Errorf("%s:%d: want \"<allow|scope> <rule> <path>\", got %q", filename, i+1, strings.TrimSpace(line))
+		}
+		directive, rule, path := fields[0], fields[1], fields[2]
+		switch directive {
+		case "allow":
+			cfg.Allow[rule] = append(cfg.Allow[rule], path)
+		case "scope":
+			cfg.Scope[rule] = append(cfg.Scope[rule], path)
+		default:
+			return fmt.Errorf("%s:%d: unknown directive %q (want allow or scope)", filename, i+1, directive)
+		}
+	}
+	return nil
+}
+
+// LoadConfig returns DefaultConfig merged with the module's .csi-vet.conf,
+// if one exists at modDir.
+func LoadConfig(modDir string) (*Config, error) {
+	cfg := DefaultConfig()
+	path := modDir + string(os.PathSeparator) + ConfigFile
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return cfg, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ParseConfig(cfg, string(data), ConfigFile); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatchPath(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"internal/", "internal/core", true},
+		{"internal/", "internal", true},
+		{"internal/", "internals/core", false},
+		{"internal/core", "internal/core", true},
+		{"internal/core", "internal/core/sub", false},
+		{".", ".", true},
+		{".", "internal", false},
+		{"internal/experiments/timing.go", "internal/experiments/timing.go", true},
+		{"internal/experiments/timing.go", "internal/experiments/ablations.go", false},
+		{"cmd/", "cmd/csi-vet/main.go", true},
+	}
+	for _, c := range cases {
+		if got := matchPath(c.pattern, c.path); got != c.want {
+			t.Errorf("matchPath(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}
+
+func TestDefaultConfigScopes(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		rule, dir string
+		want      bool
+	}{
+		{"determinism", "internal/tcpsim", true},
+		{"determinism", ".", true},
+		{"determinism", "cmd/csi-run", false},
+		{"determinism", "examples/quickstart", false},
+		{"floatcmp", "internal/core", true},
+		{"floatcmp", "internal/media", false},
+		{"noprint", "internal/experiments", true},
+		{"noprint", ".", false},
+		{"errcheck", "internal/media", true},
+		{"maporder", "internal/pcap", true},
+	}
+	for _, c := range cases {
+		if got := cfg.inScope(c.rule, c.dir); got != c.want {
+			t.Errorf("inScope(%q, %q) = %v, want %v", c.rule, c.dir, got, c.want)
+		}
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	text := `
+# comment
+allow determinism internal/experiments/timing.go
+allow all internal/generated/   # trailing comment
+scope floatcmp internal/shaping
+`
+	if err := ParseConfig(cfg, text, "test.conf"); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.allowed("determinism", "internal/experiments/timing.go") {
+		t.Error("allow directive not applied")
+	}
+	if cfg.allowed("determinism", "internal/experiments/ablations.go") {
+		t.Error("allow leaked to a different file")
+	}
+	if !cfg.allowed("maporder", "internal/generated/x.go") {
+		t.Error("allow all should apply to every rule")
+	}
+	if !cfg.inScope("floatcmp", "internal/shaping") {
+		t.Error("scope directive not applied")
+	}
+
+	for _, bad := range []string{"allow onlytwo", "forbid x y"} {
+		if err := ParseConfig(DefaultConfig(), bad, "bad.conf"); err == nil {
+			t.Errorf("ParseConfig(%q) should fail", bad)
+		} else if !strings.Contains(err.Error(), "bad.conf:1") {
+			t.Errorf("error should carry file:line, got %v", err)
+		}
+	}
+}

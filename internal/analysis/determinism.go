@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism forbids ambient-state reads inside library code: wall-clock
+// time, process environment, and the implicitly seeded global math/rand
+// source. Simulators must derive every value from their inputs (explicit
+// seeds, virtual clocks) or replayed chunk-sequence inference stops being
+// reproducible. Legitimate wall-clock uses (cmd/, the timing experiment)
+// are allowlisted in .csi-vet.conf.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time.Now/Since, os.Getenv, and global math/rand in simulator and inference code",
+	Run:  runDeterminism,
+}
+
+// forbiddenFuncs maps package path -> function name -> why it is banned.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock; simulators must use virtual time",
+		"Since": "reads the wall clock; simulators must use virtual time",
+		"Until": "reads the wall clock; simulators must use virtual time",
+	},
+	"os": {
+		"Getenv":    "reads ambient process state; thread configuration through parameters",
+		"LookupEnv": "reads ambient process state; thread configuration through parameters",
+		"Environ":   "reads ambient process state; thread configuration through parameters",
+	},
+}
+
+// randConstructors are the math/rand(/v2) top-level functions that build
+// explicitly seeded sources and are therefore allowed; every other
+// top-level function of those packages draws from the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 additions.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) {
+	pass.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // methods (e.g. (*rand.Rand).Float64) are fine
+		}
+		pkgPath, name := fn.Pkg().Path(), fn.Name()
+		if why, ok := forbiddenFuncs[pkgPath][name]; ok {
+			pass.Reportf(sel.Pos(), "call to %s.%s %s", pkgPath, name, why)
+			return true
+		}
+		if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name] {
+			pass.Reportf(sel.Pos(), "call to %s.%s uses the global random source; use rand.New(rand.NewSource(seed))", pkgPath, name)
+		}
+		return true
+	})
+}

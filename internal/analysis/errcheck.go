@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errcheck flags expression statements that discard an error result in
+// non-test library code. It is deliberately "lite": only bare call
+// statements are flagged (an explicit `_ =` is a visible decision, and
+// defer/go sites have their own idioms), and writers that are documented
+// never to fail — strings.Builder and bytes.Buffer, including through
+// fmt.Fprint* — are excluded.
+var Errcheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag discarded error return values in non-test library code",
+	Run:  runErrcheck,
+}
+
+func runErrcheck(pass *Pass) {
+	pass.inspect(func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !returnsError(pass.Info, call) || isInfallibleWriter(pass.Info, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "error result discarded; handle it or assign to _ explicitly")
+		return true
+	})
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	last := tv.Type
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		last = tuple.At(tuple.Len() - 1).Type()
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isInfallibleWriter recognizes calls whose error result is structurally
+// always nil or deferred: methods on strings.Builder and bytes.Buffer (and
+// fmt.Fprint* writing into one of those) never fail; bufio.Writer records
+// a sticky error that surfaces at Flush — and a discarded Flush is still
+// flagged, so the error cannot be lost.
+func isInfallibleWriter(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() != nil {
+		// Flush is where bufio's sticky error finally surfaces; it is
+		// never exempt.
+		return isBufferLike(sig.Recv().Type()) && fn.Name() != "Flush"
+	}
+	if fn.Pkg().Path() == "fmt" && len(call.Args) > 0 {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			return isBufferLike(info.TypeOf(call.Args[0]))
+		}
+	}
+	return false
+}
+
+func isBufferLike(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") ||
+		(path == "bytes" && name == "Buffer") ||
+		(path == "bufio" && name == "Writer")
+}

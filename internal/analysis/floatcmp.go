@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatcmp flags == and != between floating-point operands. The
+// size-matching core compares estimated against manifest chunk sizes; the
+// paper's reconstruction only works with explicit tolerances (§5.3), and
+// exact float equality silently breaks under any reordering of
+// floating-point accumulation. The x != x NaN idiom is exempt.
+var Floatcmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= between floating-point operands where tolerance-based comparison is required",
+	Run:  runFloatcmp,
+}
+
+func runFloatcmp(pass *Pass) {
+	pass.inspect(func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass.Info.TypeOf(bin.X)) && !isFloat(pass.Info.TypeOf(bin.Y)) {
+			return true
+		}
+		if isSelfCompare(bin.X, bin.Y) {
+			return true // x != x is the portable IsNaN check
+		}
+		pass.Reportf(bin.OpPos, "floating-point %s comparison; use a tolerance (or an integer/sentinel representation)", bin.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isSelfCompare reports whether x and y are the same plain identifier or
+// selector chain, e.g. v != v or s.x != s.x.
+func isSelfCompare(x, y ast.Expr) bool {
+	switch xv := x.(type) {
+	case *ast.Ident:
+		yv, ok := y.(*ast.Ident)
+		return ok && xv.Name == yv.Name
+	case *ast.SelectorExpr:
+		yv, ok := y.(*ast.SelectorExpr)
+		return ok && xv.Sel.Name == yv.Sel.Name && isSelfCompare(xv.X, yv.X)
+	}
+	return false
+}

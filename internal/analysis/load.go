@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, non-test package of the module under
+// analysis. Analyzers receive it wrapped in a Pass.
+type Package struct {
+	// ImportPath is the full import path ("csi/internal/core").
+	ImportPath string
+	// RelPath is the package directory relative to the module root, using
+	// forward slashes; the module root itself is ".".
+	RelPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	// Filenames[i] is the path of Files[i] relative to the module root.
+	Filenames []string
+	Pkg       *types.Package
+	Info      *types.Info
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod and returns that directory plus the declared module path.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			mp := parseModulePath(string(data))
+			if mp == "" {
+				return "", "", fmt.Errorf("analysis: no module directive in %s/go.mod", dir)
+			}
+			return dir, mp, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func parseModulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// loader type-checks module-local packages on demand, delegating standard
+// library imports to the stdlib source importer. It memoizes both, so a
+// shared loader amortizes the cost of the stdlib across every package of
+// the module.
+type loader struct {
+	fset    *token.FileSet
+	modDir  string
+	modPath string
+	std     types.Importer
+	local   map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader(modDir, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modDir:  modDir,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		local:   map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer over both local and stdlib packages.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.loadLocal(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.modPath), "/")
+	return filepath.Join(l.modDir, filepath.FromSlash(rel))
+}
+
+func (l *loader) loadLocal(importPath string) (*Package, error) {
+	if pkg, ok := l.local[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir := l.dirFor(importPath)
+	files, names, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg, err := l.check(importPath, dir, files, names)
+	if err != nil {
+		return nil, err
+	}
+	l.local[importPath] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test .go file of dir, with comments (needed for
+// //csi-vet:ignore directives).
+func (l *loader) parseDir(dir string) ([]*ast.File, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		names = append(names, full)
+	}
+	return files, names, nil
+}
+
+func (l *loader) check(importPath, dir string, files []*ast.File, names []string) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	rel, err := filepath.Rel(l.modDir, dir)
+	if err != nil {
+		rel = dir
+	}
+	relNames := make([]string, len(names))
+	for i, n := range names {
+		if r, err := filepath.Rel(l.modDir, n); err == nil {
+			relNames[i] = filepath.ToSlash(r)
+		} else {
+			relNames[i] = n
+		}
+	}
+	return &Package{
+		ImportPath: importPath,
+		RelPath:    filepath.ToSlash(rel),
+		Fset:       l.fset,
+		Files:      files,
+		Filenames:  relNames,
+		Pkg:        tpkg,
+		Info:       info,
+	}, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, resolving
+// imports from the standard library only. It exists for self-tests over
+// testdata trees that are not part of any module; diagnostics position
+// filenames relative to dir.
+func LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(abs, "\x00none") // module path that matches no import
+	files, names, err := l.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", abs)
+	}
+	return l.check(filepath.Base(abs), abs, files, names)
+}
+
+// LoadModule loads and type-checks every non-test package of the module
+// rooted at dir whose relative path matches one of patterns. A pattern is
+// either an exact package directory relative to the module root ("." for
+// the root package, "internal/core"), or a recursive prefix ending in
+// "/..." ("./..." or "internal/..."). With no patterns, "./..." is
+// assumed. Packages are returned sorted by import path.
+func LoadModule(dir string, patterns []string) ([]*Package, error) {
+	modDir, modPath, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := packageDirs(modDir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(modDir, modPath)
+	var pkgs []*Package
+	for _, rel := range dirs {
+		if !matchAnyPattern(patterns, rel) {
+			continue
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + rel
+		}
+		pkg, err := l.loadLocal(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// packageDirs returns every directory under root (relative, slash-separated,
+// root as ".") that contains at least one non-test .go file, skipping
+// testdata, vendor, and hidden directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				dirs = append(dirs, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func matchAnyPattern(patterns []string, rel string) bool {
+	for _, p := range patterns {
+		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+		if p == "" {
+			p = "."
+		}
+		if p == "..." {
+			return true
+		}
+		if strings.HasSuffix(p, "/...") {
+			prefix := strings.TrimSuffix(p, "/...")
+			if prefix == "." || rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if rel == p {
+			return true
+		}
+	}
+	return false
+}

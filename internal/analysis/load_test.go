@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestMatchAnyPattern(t *testing.T) {
+	cases := []struct {
+		patterns []string
+		rel      string
+		want     bool
+	}{
+		{[]string{"./..."}, "internal/core", true},
+		{[]string{"./..."}, ".", true},
+		{[]string{"..."}, "cmd/csi-vet", true},
+		{[]string{"internal/..."}, "internal/core", true},
+		{[]string{"internal/..."}, "internal", true},
+		{[]string{"internal/..."}, "cmd/csi-vet", false},
+		{[]string{"./internal/core"}, "internal/core", true},
+		{[]string{"internal/core"}, "internal/core/deep", false},
+		{[]string{"."}, ".", true},
+		{[]string{"."}, "internal", false},
+		{[]string{"cmd/...", "internal/core"}, "internal/core", true},
+	}
+	for _, c := range cases {
+		if got := matchAnyPattern(c.patterns, c.rel); got != c.want {
+			t.Errorf("matchAnyPattern(%v, %q) = %v, want %v", c.patterns, c.rel, got, c.want)
+		}
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modPath != "csi" {
+		t.Errorf("module path = %q, want csi", modPath)
+	}
+	if filepath.Base(filepath.Dir(root)) == "analysis" {
+		t.Errorf("root %q should be above internal/analysis", root)
+	}
+	if _, _, err := FindModuleRoot(t.TempDir()); err == nil {
+		t.Error("expected error outside any module")
+	}
+}
+
+func TestParseModulePath(t *testing.T) {
+	if got := parseModulePath("// comment\nmodule example.com/x\n\ngo 1.22\n"); got != "example.com/x" {
+		t.Errorf("parseModulePath = %q", got)
+	}
+	if got := parseModulePath("go 1.22\n"); got != "" {
+		t.Errorf("parseModulePath on moduleless file = %q", got)
+	}
+}
+
+// TestLoadDirPositions checks that LoadDir reports file positions relative
+// to the loaded directory — the property the golden files depend on.
+func TestLoadDirPositions(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "floatcmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.RelPath != "." {
+		t.Errorf("RelPath = %q, want .", pkg.RelPath)
+	}
+	if len(pkg.Filenames) != 1 || pkg.Filenames[0] != "floatcmp.go" {
+		t.Errorf("Filenames = %v", pkg.Filenames)
+	}
+	if pkg.Pkg.Name() != "floatcmp" {
+		t.Errorf("package name = %q", pkg.Pkg.Name())
+	}
+}
+
+// TestLoadModuleSubset loads a leaf package and checks its metadata
+// without paying for the full module.
+func TestLoadModuleSubset(t *testing.T) {
+	pkgs, err := LoadModule(".", []string{"internal/packet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "csi/internal/packet" || p.RelPath != "internal/packet" {
+		t.Errorf("ImportPath=%q RelPath=%q", p.ImportPath, p.RelPath)
+	}
+	if p.Info == nil || p.Pkg == nil || len(p.Files) == 0 {
+		t.Error("package not fully loaded")
+	}
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Noprint forbids writing to the process stdout from library packages:
+// fmt.Print/Printf/Println, the print/println builtins, and any direct use
+// of os.Stdout. Rendering belongs in cmd/ and examples/; library output
+// that bypasses the caller cannot be captured, compared, or suppressed.
+var Noprint = &Analyzer{
+	Name: "noprint",
+	Doc:  "forbid fmt.Print*/os.Stdout writes in internal/ library packages",
+	Run:  runNoprint,
+}
+
+var printFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func runNoprint(pass *Pass) {
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+					pass.Reportf(n.Pos(), "call to builtin %s writes to stderr; return data to the caller instead", b.Name())
+				}
+			}
+		case *ast.SelectorExpr:
+			obj := pass.Info.Uses[n.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj := obj.(type) {
+			case *types.Func:
+				if obj.Pkg().Path() == "fmt" && printFuncs[obj.Name()] {
+					pass.Reportf(n.Pos(), "call to fmt.%s writes to stdout; library output belongs in cmd/ or examples/", obj.Name())
+				}
+			case *types.Var:
+				if obj.Pkg().Path() == "os" && obj.Name() == "Stdout" {
+					pass.Reportf(n.Pos(), "use of os.Stdout in library code; accept an io.Writer instead")
+				}
+			}
+		}
+		return true
+	})
+}

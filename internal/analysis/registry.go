@@ -1,0 +1,31 @@
+package analysis
+
+// All is the registry of every shipped analyzer, in the order csi-vet
+// lists and runs them. Adding a rule means appending here, implementing
+// its Run, and adding a testdata/src/<name> tree with a .golden file.
+var All = []*Analyzer{
+	Determinism,
+	Floatcmp,
+	Noprint,
+	Errcheck,
+	Maporder,
+}
+
+// ByName returns the registered analyzers with the given names; unknown
+// names are returned in the second result.
+func ByName(names []string) (found []*Analyzer, unknown []string) {
+	for _, name := range names {
+		ok := false
+		for _, az := range All {
+			if az.Name == name {
+				found = append(found, az)
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			unknown = append(unknown, name)
+		}
+	}
+	return found, unknown
+}

@@ -1,0 +1,30 @@
+// Package determinism exercises the determinism rule: wall-clock,
+// environment, and global math/rand reads fire; explicitly seeded sources
+// and ignore-commented lines stay silent.
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Violations() (float64, string) {
+	now := time.Now()
+	_ = time.Since(now)
+	v := rand.Float64()
+	rand.Shuffle(3, func(i, j int) {})
+	env := os.Getenv("CSI_DEBUG")
+	_, _ = os.LookupEnv("CSI_DEBUG")
+	return v, env
+}
+
+func CleanSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() // method on an explicit source: allowed
+}
+
+func CleanIgnored() time.Time {
+	//csi-vet:ignore determinism -- exercising the line-level allowlist
+	return time.Now()
+}

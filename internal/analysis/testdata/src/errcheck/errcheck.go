@@ -1,0 +1,41 @@
+// Package errcheck exercises the errcheck rule: bare call statements
+// discarding an error fire; explicit discards, checked errors, and
+// infallible or sticky-error writers stay silent (except Flush, where the
+// sticky error surfaces).
+package errcheck
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func Violations(w io.Writer) {
+	fallible()
+	pair()
+	fmt.Fprintf(w, "x")
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "x") // sticky error, surfaces at Flush: allowed
+	bw.Flush()           // the surfacing point itself is never exempt
+}
+
+func Clean(w io.Writer) error {
+	var sb strings.Builder
+	var buf bytes.Buffer
+	fmt.Fprintf(&sb, "a")
+	buf.WriteString("b")
+	sb.WriteString("c")
+	_ = fallible() // visible decision: allowed
+	if err := fallible(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, sb.String(), buf.String())
+	return bw.Flush()
+}

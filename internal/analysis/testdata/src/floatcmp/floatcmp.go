@@ -1,0 +1,31 @@
+// Package floatcmp exercises the floatcmp rule: float ==/!= fires; the
+// NaN self-compare idiom, tolerance comparisons, and integer equality
+// stay silent.
+package floatcmp
+
+import "math"
+
+type point struct{ x float64 }
+
+func Violations(a, b float64, c float32, p, q point) bool {
+	if a == b {
+		return true
+	}
+	if c != 0 {
+		return false
+	}
+	if p.x == q.x {
+		return true
+	}
+	return a != float64(c)
+}
+
+func Clean(a, b, eps float64, n, m int) bool {
+	if math.Abs(a-b) < eps {
+		return true
+	}
+	if n == m { // integers compare exactly
+		return false
+	}
+	return a != a // portable IsNaN: exempt self-compare
+}

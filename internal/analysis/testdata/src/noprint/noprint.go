@@ -1,0 +1,23 @@
+// Package noprint exercises the noprint rule: fmt.Print*, the print
+// builtins, and os.Stdout fire; writing to a caller-supplied io.Writer
+// stays silent.
+package noprint
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func Violations(x int) {
+	fmt.Println("x =", x)
+	fmt.Printf("%d\n", x)
+	fmt.Print(x)
+	fmt.Fprintf(os.Stdout, "%d", x)
+	println(x)
+}
+
+func Clean(w io.Writer, x int) error {
+	_, err := fmt.Fprintf(w, "%d\n", x)
+	return err
+}

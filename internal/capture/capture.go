@@ -65,6 +65,7 @@ func (t *Trace) ConnIDs(hostSuffix string) []int {
 	}
 	seen := map[int]bool{}
 	var out []int
+	//csi-vet:ignore maporder -- out is sorted below before returning
 	for id, host := range t.SNI {
 		if match(host) {
 			out = append(out, id)
@@ -72,6 +73,7 @@ func (t *Trace) ConnIDs(hostSuffix string) []int {
 		}
 	}
 	// DNS/IP fallback for SNI-less connections.
+	//csi-vet:ignore maporder -- out is sorted below before returning
 	for id, ip := range t.ServerIP {
 		if seen[id] {
 			continue

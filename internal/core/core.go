@@ -96,23 +96,25 @@ type Params struct {
 	DisableSP2 bool
 }
 
+// defaultFloat sets *v to def when it still holds the zero value. The
+// comparison is exact by design — zero is the "unset" sentinel of Params,
+// not a computed quantity — which is why the floatcmp exemption below is
+// sound.
+func defaultFloat(v *float64, def float64) {
+	if *v == 0 { //csi-vet:ignore floatcmp -- exact zero is the unset-parameter sentinel
+		*v = def
+	}
+}
+
 func (p Params) withDefaults(proto packet.Proto) Params {
-	if p.K == 0 {
-		if proto == packet.UDP {
-			p.K = KQUIC
-		} else {
-			p.K = KHTTPS
-		}
+	if proto == packet.UDP {
+		defaultFloat(&p.K, KQUIC)
+	} else {
+		defaultFloat(&p.K, KHTTPS)
 	}
-	if p.IdleSplitSec == 0 {
-		p.IdleSplitSec = 2.0
-	}
-	if p.SP2WindowSec == 0 {
-		p.SP2WindowSec = 0.01
-	}
-	if p.SP2QuietSec == 0 {
-		p.SP2QuietSec = 0.25
-	}
+	defaultFloat(&p.IdleSplitSec, 2.0)
+	defaultFloat(&p.SP2WindowSec, 0.01)
+	defaultFloat(&p.SP2QuietSec, 0.25)
 	if p.RequestMinQUICPayload == 0 {
 		p.RequestMinQUICPayload = 80
 	}

@@ -47,10 +47,10 @@ type noMuxGraph struct {
 func buildNoMuxGraph(man *media.Manifest, reqs []Request, p Params) *noMuxGraph {
 	vIdx := media.NewSizeIndex(man, media.Video)
 	disp := displayConstraint(p.Display)
-	audioSizes := map[int]int64{}
-	for _, ai := range man.AudioTracks() {
-		audioSizes[ai] = man.Tracks[ai].Sizes[0]
-	}
+	// Audio candidates are matched per track in manifest order so the
+	// layer's candidate list (and everything enumerated from it) is
+	// deterministic across runs.
+	audioTracks := man.AudioTracks()
 	g := &noMuxGraph{man: man, layers: make([]layer, len(reqs)), reqs: reqs}
 	for i, r := range reqs {
 		lo, hi := media.CandidateRange(r.Est, p.K)
@@ -64,8 +64,8 @@ func buildNoMuxGraph(man *media.Manifest, reqs []Request, p Params) *noMuxGraph 
 			vc = append(vc, ref)
 		}
 		var ac []int
-		for ai, sz := range audioSizes {
-			if sz >= lo && sz <= hi {
+		for _, ai := range audioTracks {
+			if sz := man.Tracks[ai].Sizes[0]; sz >= lo && sz <= hi {
 				ac = append(ac, ai)
 			}
 		}
@@ -219,7 +219,7 @@ func unitAudioWeights(g *noMuxGraph) (minW, maxW, opts []float64) {
 	opts = make([]float64, n)
 	for i := range g.layers {
 		opts[i] = float64(len(g.layers[i].audio))
-		if opts[i] == 0 {
+		if len(g.layers[i].audio) == 0 {
 			opts[i] = 1 // neutral for prefix products; gated by audioOK
 		}
 	}
@@ -243,7 +243,7 @@ func (e *noMuxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64
 	for i := range g.layers {
 		la := g.layers[i]
 		opts[i] = float64(len(la.audio))
-		if opts[i] == 0 {
+		if len(la.audio) == 0 {
 			opts[i] = 1
 		}
 		anyMatch, anyMiss := false, false

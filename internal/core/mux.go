@@ -384,8 +384,10 @@ func windowStats(man *media.Manifest, allowed func(int) []int, wantTrack func(s,
 			if len(b.sums) == 0 {
 				continue
 			}
+			// Counts are sums of positive combo counts, so "no combos in
+			// range" is exactly n <= 0; no equality on floats needed.
 			n := countIn(b, lo, hi)
-			if n == 0 {
+			if n <= 0 {
 				continue
 			}
 			count += n * l.count

@@ -104,15 +104,22 @@ func Table3(sc Scale) (*Table, error) {
 			return nil, err
 		}
 		var pasr []float64
+		lengths := []int{1, 3, 6}
 		u := map[string][]float64{} // "L-k" -> per-video fractions
 		for vi, man := range vids {
 			pasr = append(pasr, man.MedianPASR())
 			for _, k := range []float64{0.01, 0.05} {
-				vu, err := uniq.AnalyzeVideo(man, k, []int{1, 3, 6}, sc.Samples, int64(vi))
+				vu, err := uniq.AnalyzeVideo(man, k, lengths, sc.Samples, int64(vi))
 				if err != nil {
 					return nil, err
 				}
-				for L, f := range vu.Unique {
+				// Iterate the length list, not the result map, so the
+				// per-video fraction slices build in a fixed order.
+				for _, L := range lengths {
+					f, ok := vu.Unique[L]
+					if !ok {
+						return nil, fmt.Errorf("experiments: uniqueness result missing L=%d", L)
+					}
 					key := fmt.Sprintf("%d-%g", L, k)
 					u[key] = append(u[key], f)
 				}

@@ -59,8 +59,17 @@ func Fig10(sc Scale) (*Table, error) {
 		},
 	}
 	addRow := func(p shaping.Point) {
+		// Accumulate in sorted track order: float addition is not
+		// associative, so map-order iteration would make the rendered
+		// percentages run-dependent at the last digit.
+		tracks := make([]int, 0, len(p.TrackShare))
+		for tr := range p.TrackShare {
+			tracks = append(tracks, tr)
+		}
+		sort.Ints(tracks)
 		var low, mid, high float64
-		for tr, share := range p.TrackShare {
+		for _, tr := range tracks {
+			share := p.TrackShare[tr]
 			switch {
 			case tr <= 2:
 				low += share
@@ -178,9 +187,16 @@ func HuluBasics(sc Scale) (*Table, error) {
 				counts[tr.Ref.Track]++
 			}
 		}
+		// Pick the mode over sorted tracks so ties break toward the
+		// lowest track instead of map iteration order.
+		tracks := make([]int, 0, len(counts))
+		for trk := range counts {
+			tracks = append(tracks, trk)
+		}
+		sort.Ints(tracks)
 		conv, best := -1, 0
-		for trk, c := range counts {
-			if c > best {
+		for _, trk := range tracks {
+			if c := counts[trk]; c > best {
 				conv, best = trk, c
 			}
 		}

@@ -1,0 +1,84 @@
+package packet
+
+import "testing"
+
+func TestDirString(t *testing.T) {
+	if got := Up.String(); got != "up" {
+		t.Errorf("Up.String() = %q", got)
+	}
+	if got := Down.String(); got != "down" {
+		t.Errorf("Down.String() = %q", got)
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if got := TCP.String(); got != "tcp" {
+		t.Errorf("TCP.String() = %q", got)
+	}
+	if got := UDP.String(); got != "udp" {
+		t.Errorf("UDP.String() = %q", got)
+	}
+}
+
+// TestHeaderConstants pins the wire-overhead arithmetic the simulators and
+// the estimator both rely on (§3.2 subtracts exactly these per-packet
+// overheads when reconstructing application bytes).
+func TestHeaderConstants(t *testing.T) {
+	if IPHeader != 20 {
+		t.Errorf("IPHeader = %d, want 20", IPHeader)
+	}
+	if TCPHeader != 32 {
+		t.Errorf("TCPHeader = %d, want 32 (20 base + timestamps option)", TCPHeader)
+	}
+	if UDPHeader != 8 {
+		t.Errorf("UDPHeader = %d, want 8", UDPHeader)
+	}
+	// The QUIC short header must be cheaper than the long (handshake)
+	// header, and both must exceed the bare UDP header they ride on.
+	if QUICShortHeader >= QUICLongHeader {
+		t.Errorf("short header (%d) should be smaller than long (%d)", QUICShortHeader, QUICLongHeader)
+	}
+	if QUICShortHeader <= 0 || QUICLongHeader <= 0 {
+		t.Error("QUIC header sizes must be positive")
+	}
+	// TCP per-packet overhead exceeds UDP's — the reason QUIC's error
+	// bound k differs from HTTPS's in the paper.
+	if IPHeader+TCPHeader <= IPHeader+UDPHeader {
+		t.Error("TCP overhead should exceed UDP overhead")
+	}
+}
+
+// TestArriveDelivery checks the Packet contract: Arrive carries the
+// semantics, View carries what the monitor sees, and a Sender observes
+// only the packet it was handed.
+func TestArriveDelivery(t *testing.T) {
+	var deliveredAt float64
+	p := &Packet{
+		Size: 1500,
+		View: View{Time: 1.25, Dir: Down, Proto: TCP, ConnID: 7, Size: 1500},
+		Arrive: func(now float64) {
+			deliveredAt = now
+		},
+	}
+	var got []*Packet
+	s := senderFunc(func(pkt *Packet) { got = append(got, pkt) })
+	s.Send(p)
+	if len(got) != 1 || got[0] != p {
+		t.Fatalf("sender saw %d packets", len(got))
+	}
+	got[0].Arrive(3.5)
+	if deliveredAt != 3.5 {
+		t.Errorf("Arrive delivered at %v, want 3.5", deliveredAt)
+	}
+	if got[0].View.Size != got[0].Size {
+		t.Errorf("view size %d disagrees with wire size %d", got[0].View.Size, got[0].Size)
+	}
+}
+
+// senderFunc adapts a function to the Sender interface, doubling as a
+// compile-time check that the interface stays implementable by adapters.
+type senderFunc func(*Packet)
+
+func (f senderFunc) Send(p *Packet) { f(p) }
+
+var _ Sender = senderFunc(nil)

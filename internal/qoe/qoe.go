@@ -78,10 +78,12 @@ func Analyze(chunks []Chunk, cfg Config) (*Report, error) {
 	if cfg.ChunkDur <= 0 {
 		return nil, fmt.Errorf("qoe: chunk duration must be positive")
 	}
-	if cfg.StartupSec == 0 {
+	// Exact-zero checks: zero is the "unset" sentinel of Config, not a
+	// computed value, so no tolerance applies.
+	if cfg.StartupSec == 0 { //csi-vet:ignore floatcmp -- exact zero is the unset-parameter sentinel
 		cfg.StartupSec = cfg.ChunkDur
 	}
-	if cfg.RebufferSec == 0 {
+	if cfg.RebufferSec == 0 { //csi-vet:ignore floatcmp -- exact zero is the unset-parameter sentinel
 		cfg.RebufferSec = cfg.ChunkDur
 	}
 	rep := &Report{

@@ -1,0 +1,27 @@
+#!/bin/sh
+# check.sh — the single pre-merge gate (tier-1+ verify).
+#
+# Runs, in order:
+#   1. go build ./...            everything compiles
+#   2. go vet ./...              stock vet
+#   3. go run ./cmd/csi-vet ./.. repo-specific determinism/correctness rules
+#   4. go test -race ./...       full test suite under the race detector
+#
+# Any failure aborts the gate. Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== csi-vet ./..."
+go run ./cmd/csi-vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"
