@@ -1,6 +1,6 @@
 # Developer entry points. `make check` is the single pre-merge gate.
 
-.PHONY: check build test vet race
+.PHONY: check build test vet race bench
 
 check:
 	./scripts/check.sh
@@ -17,3 +17,8 @@ vet:
 
 race:
 	go test -race ./...
+
+# Observability-overhead pairs (nil tracer vs live collector); results land
+# in BENCH_obs.json.
+bench:
+	./scripts/bench_obs.sh

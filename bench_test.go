@@ -15,6 +15,7 @@ import (
 	"csi/internal/experiments"
 	"csi/internal/media"
 	"csi/internal/netem"
+	"csi/internal/obs"
 	"csi/internal/session"
 )
 
@@ -212,6 +213,39 @@ func BenchmarkInferMux(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Infer(muxFix.man, muxFix.run.Trace, muxFix.p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- observability overhead ----
+//
+// The obs layer promises that a nil tracer costs one pointer check on hot
+// paths. These pairs run the candidate search of the inference pipeline
+// with the production default (nil tracer) and with a live collector;
+// `make bench` records both (plus the sim/tcpsim pairs) in BENCH_obs.json.
+// Off must match the uninstrumented BenchmarkInferNoMux within noise.
+
+// BenchmarkInferObsOff runs the no-MUX inference with the nil tracer.
+func BenchmarkInferObsOff(b *testing.B) {
+	noMuxOnce.Do(func() { noMuxFix = setupInferFixture(b, session.SH) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Infer(noMuxFix.man, noMuxFix.run.Trace, noMuxFix.p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferObsOn runs the same inference with a live collector sink;
+// the delta over ObsOff is the full cost of tracing the candidate search.
+func BenchmarkInferObsOn(b *testing.B) {
+	noMuxOnce.Do(func() { noMuxFix = setupInferFixture(b, session.SH) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := noMuxFix.p
+		p.Obs = obs.New(nil, obs.NewCollector())
+		if _, err := core.Infer(noMuxFix.man, noMuxFix.run.Trace, p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"csi/internal/capture"
 	"csi/internal/core"
 	"csi/internal/media"
+	"csi/internal/obs"
 	"csi/internal/pcap"
 	"csi/internal/qoe"
 )
@@ -32,6 +33,8 @@ func main() {
 		display  = flag.Bool("display", false, "use displayed-chunk side information")
 		host     = flag.String("host", "", "media SNI host (default: manifest host)")
 		verbose  = flag.Bool("v", false, "print the full inferred sequence")
+		traceOut = flag.String("trace-out", "", "write an execution trace of the inference (.jsonl = JSONL events, else Chrome trace format)")
+		metrics  = flag.String("metrics", "", "write a text metrics dump to this path (\"-\" = stdout)")
 	)
 	flag.Parse()
 	die := func(err error) {
@@ -56,7 +59,22 @@ func main() {
 	if *display {
 		p.Display = run.Display
 	}
+	var sink *obs.Collector
+	if *traceOut != "" || *metrics != "" {
+		sink = obs.NewCollector()
+		p.Obs = obs.New(nil, sink)
+	}
 	inf, err := core.Infer(man, run.Trace, p)
+	if *traceOut != "" {
+		if werr := obs.WriteTraceFile(*traceOut, sink.Records()); werr != nil {
+			die(werr)
+		}
+	}
+	if *metrics != "" {
+		if werr := obs.WriteMetricsFile(*metrics, p.Obs.Metrics()); werr != nil {
+			die(werr)
+		}
+	}
 	if err != nil {
 		die(err)
 	}

@@ -15,11 +15,14 @@ import (
 	"time"
 
 	"csi/internal/experiments"
+	"csi/internal/obs"
 	"csi/internal/session"
 )
 
 func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	traceOut := flag.String("trace-out", "", "write an execution trace of the experiments (.jsonl = JSONL events, else Chrome trace format); runs execute concurrently, so record order is not deterministic")
+	metrics := flag.String("metrics", "", "write an aggregate text metrics dump to this path (\"-\" = stdout)")
 	flag.Parse()
 	var sc experiments.Scale
 	switch *scale {
@@ -30,6 +33,11 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "csi-paper: unknown scale", *scale)
 		os.Exit(1)
+	}
+	var sink *obs.Collector
+	if *traceOut != "" || *metrics != "" {
+		sink = obs.NewCollector()
+		sc.Obs = obs.New(nil, sink)
 	}
 
 	names := flag.Args()
@@ -83,5 +91,17 @@ func main() {
 		}
 		fmt.Println(tab.String())
 		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(*traceOut, sink.Records()); err != nil {
+			fmt.Fprintln(os.Stderr, "csi-paper:", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics != "" {
+		if err := obs.WriteMetricsFile(*metrics, sc.Obs.Metrics()); err != nil {
+			fmt.Fprintln(os.Stderr, "csi-paper:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"csi/internal/abr"
 	"csi/internal/media"
 	"csi/internal/netem"
+	"csi/internal/obs"
 	"csi/internal/pcap"
 	"csi/internal/session"
 )
@@ -38,6 +39,8 @@ func main() {
 		loss     = flag.Float64("loss", 0.005, "downlink radio loss probability")
 		seed     = flag.Int64("seed", 1, "run seed")
 		out      = flag.String("o", "run.json", "output run path (.bin selects the compact binary format)")
+		traceOut = flag.String("trace-out", "", "write an execution trace of the session (.jsonl = JSONL events, else Chrome trace format)")
+		metrics  = flag.String("metrics", "", "write a text metrics dump to this path (\"-\" = stdout)")
 	)
 	flag.Parse()
 	die := func(err error) {
@@ -83,9 +86,24 @@ func main() {
 	if *shRate > 0 {
 		cfg.Shaper = &netem.TokenBucketConfig{RateBps: *shRate * 1e6, BucketSize: *shBucket}
 	}
+	var sink *obs.Collector
+	if *traceOut != "" || *metrics != "" {
+		sink = obs.NewCollector()
+		cfg.Obs = obs.New(nil, sink)
+	}
 	res, err := session.Run(cfg)
 	if err != nil {
 		die(err)
+	}
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(*traceOut, sink.Records()); err != nil {
+			die(err)
+		}
+	}
+	if *metrics != "" {
+		if err := obs.WriteMetricsFile(*metrics, cfg.Obs.Metrics()); err != nil {
+			die(err)
+		}
 	}
 	save := res.Run.SaveJSON
 	switch {

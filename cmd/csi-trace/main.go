@@ -7,6 +7,7 @@
 //	csi-trace -run run.json
 //	csi-trace -run run.bin -host media.example.com -requests
 //	csi-trace -run run.bin -host media.example.com -mux
+//	csi-trace -timeline run.trace.jsonl
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"csi/internal/capture"
 	"csi/internal/core"
+	"csi/internal/obs"
 	"csi/internal/packet"
 	"csi/internal/pcap"
 )
@@ -28,11 +30,27 @@ func main() {
 		host     = flag.String("host", "", "media host for request/group analysis")
 		requests = flag.Bool("requests", false, "print the detected request timeline")
 		mux      = flag.Bool("mux", false, "print SP1/SP2 traffic groups (QUIC multiplexing)")
+		timeline = flag.String("timeline", "", "render a JSONL event log (csi-run/-analyze -trace-out x.jsonl) as a text timeline")
 	)
 	flag.Parse()
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "csi-trace:", err)
 		os.Exit(1)
+	}
+	if *timeline != "" {
+		f, err := os.Open(*timeline)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		recs, err := obs.ReadJSONEvents(f)
+		if err != nil {
+			die(err)
+		}
+		if err := obs.WriteTimeline(os.Stdout, recs); err != nil {
+			die(err)
+		}
+		return
 	}
 	if *runPath == "" {
 		die(fmt.Errorf("-run is required"))

@@ -6,6 +6,7 @@ import (
 
 	"csi/internal/capture"
 	"csi/internal/media"
+	"csi/internal/obs"
 	"csi/internal/sim"
 	"csi/internal/webproto"
 )
@@ -45,6 +46,9 @@ type Config struct {
 	StopAt float64
 	// ThroughputAlpha is the EWMA weight of the newest sample. Default 0.5.
 	ThroughputAlpha float64
+	// Obs traces chunk downloads, buffer levels, bitrate switches and
+	// stalls. Nil disables instrumentation.
+	Obs *obs.Tracer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -96,7 +100,8 @@ type pipeline struct {
 	nextIndex   int
 	numChunks   int
 	outstanding bool
-	fetched     int // chunks completed
+	fetched     int       // chunks completed
+	span        *obs.Span // open download span for the outstanding chunk
 }
 
 // contentEnd returns the content time (seconds) buffered contiguously.
@@ -218,12 +223,26 @@ func (pl *pipeline) maybeFetch() {
 		ref = media.ChunkRef{Track: pl.track, Index: pl.nextIndex}
 	} else {
 		track := pl.selectVideoTrack()
+		if tr := p.cfg.Obs; tr != nil && pl.track >= 0 && track != pl.track {
+			tr.Event("abr", "bitrate_switch",
+				obs.Int("index", int64(pl.nextIndex)),
+				obs.Int("from", int64(pl.track)),
+				obs.Int("to", int64(track)),
+				obs.Float("throughput_bps", p.throughput))
+		}
 		pl.track = track
 		ref = media.ChunkRef{Track: track, Index: pl.nextIndex}
 	}
 	pl.outstanding = true
 	reqTime := now
 	size := p.cfg.Manifest.Size(ref)
+	if tr := p.cfg.Obs; tr != nil {
+		pl.span = tr.Begin("abr", "chunk",
+			obs.Str("kind", pl.kind.String()),
+			obs.Int("track", int64(ref.Track)),
+			obs.Int("index", int64(ref.Index)),
+			obs.Int("size", size))
+	}
 	rec := capture.TruthRecord{ReqTime: reqTime, Ref: ref, Kind: pl.kind, Size: size}
 	idx := len(p.truth)
 	p.truth = append(p.truth, rec)
@@ -251,6 +270,11 @@ func (pl *pipeline) onChunkDone(truthIdx int, reqTime float64, size int64, now f
 	pl.fetched++
 	pl.nextIndex++
 	p.truth[truthIdx].DoneTime = now
+	if pl.span != nil {
+		pl.span.End()
+		pl.span = nil
+		p.cfg.Obs.Sample("abr", "buffer_sec", p.bufferSec())
+	}
 
 	// Throughput sample over the full request-response exchange.
 	if dt := now - reqTime; dt > 0 {
@@ -285,6 +309,9 @@ func (p *Player) onBufferGrew() {
 	if p.inStall && buf >= p.cfg.RebufferSec {
 		p.stalls = append(p.stalls, capture.StallRecord{Start: p.stallStart, End: p.eng.Now()})
 		p.inStall = false
+		if tr := p.cfg.Obs; tr != nil {
+			tr.Event("abr", "stall_end", obs.Float("dur", p.eng.Now()-p.stallStart))
+		}
 		p.resumePlayback()
 	}
 	if p.playing {
@@ -361,6 +388,9 @@ func (p *Player) onPlayheadCaughtUp() {
 	if !videoDone {
 		p.inStall = true
 		p.stallStart = p.eng.Now()
+		if tr := p.cfg.Obs; tr != nil {
+			tr.Event("abr", "stall_begin", obs.Float("playhead", p.playhead))
+		}
 		p.cueFetches()
 	}
 }

@@ -35,12 +35,14 @@ func TestDefaultConfigScopes(t *testing.T) {
 		want      bool
 	}{
 		{"determinism", "internal/tcpsim", true},
+		{"determinism", "internal/obs", true}, // observability must stay virtual-time
 		{"determinism", ".", true},
 		{"determinism", "cmd/csi-run", false},
 		{"determinism", "examples/quickstart", false},
 		{"floatcmp", "internal/core", true},
 		{"floatcmp", "internal/media", false},
 		{"noprint", "internal/experiments", true},
+		{"noprint", "internal/obs", true},
 		{"noprint", ".", false},
 		{"errcheck", "internal/media", true},
 		{"maporder", "internal/pcap", true},

@@ -6,16 +6,29 @@ import (
 )
 
 // Noprint forbids writing to the process stdout from library packages:
-// fmt.Print/Printf/Println, the print/println builtins, and any direct use
-// of os.Stdout. Rendering belongs in cmd/ and examples/; library output
-// that bypasses the caller cannot be captured, compared, or suppressed.
+// fmt.Print/Printf/Println, the print/println builtins, any direct use of
+// os.Stdout, and the global stdlib logger (log.Print*, log.Fatal*,
+// log.Panic*, log.Default). Rendering belongs in cmd/ and examples/;
+// library output that bypasses the caller cannot be captured, compared, or
+// suppressed — diagnostics belong in internal/obs events or returned
+// errors. A *log.Logger the caller constructed and handed in is fine; only
+// the process-global logger is flagged.
 var Noprint = &Analyzer{
 	Name: "noprint",
-	Doc:  "forbid fmt.Print*/os.Stdout writes in internal/ library packages",
+	Doc:  "forbid fmt.Print*/os.Stdout/global-log writes in internal/ library packages",
 	Run:  runNoprint,
 }
 
 var printFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+// logFuncs are the package-level log functions that write through (or hand
+// out) the process-global logger.
+var logFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+	"Default": true,
+}
 
 func runNoprint(pass *Pass) {
 	pass.inspect(func(n ast.Node) bool {
@@ -35,6 +48,13 @@ func runNoprint(pass *Pass) {
 			case *types.Func:
 				if obj.Pkg().Path() == "fmt" && printFuncs[obj.Name()] {
 					pass.Reportf(n.Pos(), "call to fmt.%s writes to stdout; library output belongs in cmd/ or examples/", obj.Name())
+				}
+				// Only package-level log functions hit the global
+				// logger; methods on a caller-supplied *log.Logger
+				// (sig with receiver) are the caller's business.
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil &&
+					obj.Pkg().Path() == "log" && logFuncs[obj.Name()] {
+					pass.Reportf(n.Pos(), "use of the global stdlib logger (log.%s); emit an obs event or return an error instead", obj.Name())
 				}
 			case *types.Var:
 				if obj.Pkg().Path() == "os" && obj.Name() == "Stdout" {

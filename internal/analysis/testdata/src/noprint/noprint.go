@@ -1,11 +1,12 @@
 // Package noprint exercises the noprint rule: fmt.Print*, the print
-// builtins, and os.Stdout fire; writing to a caller-supplied io.Writer
-// stays silent.
+// builtins, os.Stdout, and the global stdlib logger fire; writing to a
+// caller-supplied io.Writer or *log.Logger stays silent.
 package noprint
 
 import (
 	"fmt"
 	"io"
+	"log"
 	"os"
 )
 
@@ -15,9 +16,18 @@ func Violations(x int) {
 	fmt.Print(x)
 	fmt.Fprintf(os.Stdout, "%d", x)
 	println(x)
+	log.Printf("x = %d", x)
+	log.Println(x)
+	log.Fatal("bad x")
+	log.Default().Print(x)
 }
 
 func Clean(w io.Writer, x int) error {
 	_, err := fmt.Fprintf(w, "%d\n", x)
 	return err
+}
+
+// CleanLogger writes through a logger the caller constructed: allowed.
+func CleanLogger(lg *log.Logger, x int) {
+	lg.Printf("x = %d", x)
 }

@@ -27,6 +27,7 @@ import (
 
 	"csi/internal/capture"
 	"csi/internal/media"
+	"csi/internal/obs"
 	"csi/internal/packet"
 )
 
@@ -94,6 +95,12 @@ type Params struct {
 	// DisableSP2 turns off simultaneous-request split points, leaving only
 	// SP1 idle-gap splits (ablation; §5.3.2 uses both).
 	DisableSP2 bool
+
+	// Obs traces the inference pipeline: request detection, split-point
+	// decisions, graph construction and the sequence search. Inference runs
+	// post hoc (no virtual clock), so records are stamped with an ordinal
+	// obs.StepClock timeline. Nil disables instrumentation.
+	Obs *obs.Tracer
 }
 
 // defaultFloat sets *v to def when it still holds the zero value. The

@@ -6,6 +6,7 @@ import (
 
 	"csi/internal/capture"
 	"csi/internal/ivl"
+	"csi/internal/obs"
 	"csi/internal/packet"
 )
 
@@ -34,6 +35,11 @@ func Estimate(tr *capture.Trace, p Params) (*Estimation, error) {
 		break
 	}
 	p = p.withDefaults(proto)
+
+	span := p.Obs.Begin("core", "estimate",
+		obs.Int("conns", int64(len(ids))),
+		obs.Str("proto", proto.String()))
+	defer span.End()
 
 	if p.Mux {
 		if proto != packet.UDP {
@@ -67,6 +73,10 @@ func Estimate(tr *capture.Trace, p Params) (*Estimation, error) {
 	sort.SliceStable(all, func(a, b int) bool { return all[a].Time < all[b].Time })
 	if len(all) == 0 {
 		return nil, fmt.Errorf("core: no chunk requests detected")
+	}
+	p.Obs.Metrics().Counter("core.requests_detected").Add(int64(len(all)))
+	if p.Obs.Enabled() {
+		p.Obs.Event("core", "requests_detected", obs.Int("n", int64(len(all))))
 	}
 	// Discount the HTTP response headers hidden in each response so header
 	// bytes cannot push small chunks past the Property-1 bound.
@@ -203,11 +213,23 @@ func estimateMux(pkts []packet.View, p Params) ([]Group, error) {
 			quiet := lastDown < 0 || e.t-lastDown >= p.SP2QuietSec
 			if !p.DisableSP2 && quiet && i+1 < len(evs) && evs[i+1].up && evs[i+1].t-e.t <= p.SP2WindowSec {
 				cuts = append(cuts, i)
+				p.Obs.Metrics().Counter("core.sp2_cuts").Inc()
+				if p.Obs.Enabled() {
+					p.Obs.Event("core", "sp2_cut",
+						obs.Float("at", e.t),
+						obs.Float("pair_gap", evs[i+1].t-e.t))
+				}
 			}
 			continue
 		}
 		if lastDown >= 0 && e.t-lastDown >= p.IdleSplitSec {
 			cuts = append(cuts, backUpToRequests(evs, i))
+			p.Obs.Metrics().Counter("core.sp1_cuts").Inc()
+			if p.Obs.Enabled() {
+				p.Obs.Event("core", "sp1_cut",
+					obs.Float("at", e.t),
+					obs.Float("idle", e.t-lastDown))
+			}
 		}
 		lastDown = e.t
 	}
@@ -234,6 +256,17 @@ func estimateMux(pkts []packet.View, p Params) ([]Group, error) {
 	}
 	if len(final) == 0 {
 		return nil, fmt.Errorf("core: no traffic groups with requests")
+	}
+	if p.Obs.Enabled() {
+		p.Obs.Event("core", "groups_formed",
+			obs.Int("groups", int64(len(final))),
+			obs.Int("cuts", int64(len(cuts))))
+		reqs := 0
+		for _, g := range final {
+			reqs += len(g.ReqTimes)
+		}
+		p.Obs.Metrics().Counter("core.requests_detected").Add(int64(reqs))
+		p.Obs.Metrics().Counter("core.groups_formed").Add(int64(len(final)))
 	}
 	return final, nil
 }
@@ -310,6 +343,13 @@ func subdivide(gs groupSpan, evs []ev, p Params) []Group {
 	cut := backUpToRequests(evs, bestAt)
 	if cut <= gs.from || cut >= gs.to {
 		return []Group{materialize(gs, evs)}
+	}
+	p.Obs.Metrics().Counter("core.subdivide_cuts").Inc()
+	if p.Obs.Enabled() {
+		p.Obs.Event("core", "subdivide_cut",
+			obs.Float("at", evs[cut].t),
+			obs.Float("gap", bestGap),
+			obs.Int("requests", int64(nReq)))
 	}
 	left := subdivide(groupSpan{from: gs.from, to: cut}, evs, p)
 	right := subdivide(groupSpan{from: cut, to: gs.to}, evs, p)

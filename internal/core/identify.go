@@ -5,6 +5,7 @@ import (
 
 	"csi/internal/capture"
 	"csi/internal/media"
+	"csi/internal/obs"
 )
 
 // Identify performs Step 2 on an estimation: it finds the chunk sequences
@@ -42,6 +43,10 @@ type noMuxGraph struct {
 	man    *media.Manifest
 	layers []layer
 	reqs   []Request
+
+	// DP instrumentation handles (nil-safe).
+	cExpand *obs.Counter
+	cPrune  *obs.Counter
 }
 
 func buildNoMuxGraph(man *media.Manifest, reqs []Request, p Params) *noMuxGraph {
@@ -70,6 +75,33 @@ func buildNoMuxGraph(man *media.Manifest, reqs []Request, p Params) *noMuxGraph 
 			}
 		}
 		g.layers[i] = layer{video: vc, audio: ac}
+	}
+	g.cExpand = p.Obs.Metrics().Counter("core.dp_expansions")
+	g.cPrune = p.Obs.Metrics().Counter("core.dp_prunes")
+	if p.Obs.Enabled() {
+		hist := p.Obs.Metrics().Histogram("core.candidates_per_request",
+			[]float64{0, 1, 2, 4, 8, 16, 32, 64})
+		nodes, edges := 0, 0
+		prevByIndex := map[int]int{}
+		for i := range g.layers {
+			la := g.layers[i]
+			hist.Observe(float64(len(la.video) + len(la.audio)))
+			nodes += len(la.video) + len(la.audio)
+			// Contiguity edges: a candidate links to prior-layer candidates
+			// holding the preceding playback index.
+			byIndex := map[int]int{}
+			for _, c := range la.video {
+				edges += prevByIndex[c.Index-1]
+				byIndex[c.Index]++
+			}
+			prevByIndex = byIndex
+		}
+		p.Obs.Metrics().Counter("core.graph_nodes").Add(int64(nodes))
+		p.Obs.Metrics().Counter("core.graph_edges").Add(int64(edges))
+		p.Obs.Event("core", "graph_built",
+			obs.Int("layers", int64(len(g.layers))),
+			obs.Int("nodes", int64(nodes)),
+			obs.Int("edges", int64(edges)))
 	}
 	return g
 }
@@ -161,6 +193,7 @@ func (g *noMuxGraph) runDP(
 			for j := i - 1; j >= 0; j-- {
 				// Requests j+1..i-1 must all be audio-capable.
 				if j < i-1 && !audioOK[j+1] {
+					g.cPrune.Inc()
 					break
 				}
 				// Aggregate audio weights over the skipped run.
@@ -172,6 +205,7 @@ func (g *noMuxGraph) runDP(
 					if !pv.ok {
 						continue
 					}
+					g.cExpand.Inc()
 					merge(&v, pv.count*skCnt, pv.best+skMax+w, pv.worst+skMin+w)
 				}
 			}
@@ -275,10 +309,12 @@ func (e *noMuxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64
 }
 
 func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, error) {
+	span := p.Obs.Begin("core", "identify", obs.Int("requests", int64(len(est.Requests))))
 	g := buildNoMuxGraph(man, est.Requests, p)
 	minW, maxW, opts := unitAudioWeights(g)
 	total, vals := g.runDP(minW, maxW, opts, func(int, media.ChunkRef) float64 { return 0 })
 	if !total.ok {
+		span.End(obs.Str("outcome", "no_match"))
 		return nil, fmt.Errorf("core: no chunk sequence matches the %d estimated sizes (k=%.3f)", len(est.Requests), p.K)
 	}
 	inf := &Inference{
@@ -288,6 +324,8 @@ func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, 
 		eval:          &noMuxEval{g: g},
 	}
 	inf.Best = g.extractSequence(vals)
+	p.Obs.Metrics().Gauge("core.sequence_count").Set(total.count)
+	span.End(obs.Float("sequences", total.count))
 	return inf, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"csi/internal/capture"
 	"csi/internal/media"
+	"csi/internal/obs"
 )
 
 // groupCand is one *collapsed* hypothesis for a traffic group: a contiguous
@@ -53,14 +54,22 @@ type muxState struct {
 }
 
 func identifyMux(man *media.Manifest, est *Estimation, p Params) (*Inference, error) {
+	span := p.Obs.Begin("core", "identify", obs.Int("groups", int64(len(est.Groups))))
 	g, err := buildMuxGraph(man, est, p, nil)
 	if err != nil {
+		span.End(obs.Str("outcome", "chain_broken"))
 		return nil, err
 	}
 	total := g.chainDP()
 	if !total.ok {
+		span.End(obs.Str("outcome", "no_match"))
 		return nil, fmt.Errorf("core: no chunk sequence matches the %d traffic groups (k=%.3f)", len(est.Groups), p.K)
 	}
+	p.Obs.Metrics().Gauge("core.sequence_count").Set(total.count)
+	if g.truncated {
+		p.Obs.Metrics().Counter("core.search_truncations").Inc()
+	}
+	span.End(obs.Float("sequences", total.count))
 	return &Inference{
 		Proto:         est.Proto,
 		Mux:           true,
@@ -112,6 +121,14 @@ func buildMuxGraph(man *media.Manifest, est *Estimation, p Params, tc *truthCtx)
 		}
 		if len(cands) == 0 {
 			cands = []groupCand{{vStart: -1, aTrack: -1, Count: 1, Wild: true}}
+		}
+		if p.Obs.Enabled() {
+			p.Obs.Metrics().Histogram("core.group_candidates",
+				[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}).Observe(float64(len(cands)))
+			p.Obs.Event("core", "group_candidates",
+				obs.Int("group", int64(gi)),
+				obs.Int("requests", int64(nReq)),
+				obs.Int("candidates", int64(len(cands))))
 		}
 		g.cands = append(g.cands, cands)
 		g.nReqUsed = append(g.nReqUsed, nReq)
@@ -196,6 +213,9 @@ func groupCandidates(man *media.Manifest, grp Group, nReq int, p Params, disp ma
 		}
 	}
 	budget := p.GroupSearchBudget
+	cWinCalls := p.Obs.Metrics().Counter("core.window_calls")
+	cWinRejects := p.Obs.Metrics().Counter("core.window_rejects")
+	cWinTrunc := p.Obs.Metrics().Counter("core.window_truncations")
 	for _, aCount := range aOrder {
 		for _, ac := range audioChoices {
 			if (ac.track < 0) != (aCount == 0) {
@@ -227,11 +247,17 @@ func groupCandidates(man *media.Manifest, grp Group, nReq int, p Params, disp ma
 				}
 				if budget <= 0 {
 					truncated = true
+					cWinTrunc.Inc()
 					return out, truncated
 				}
+				cWinCalls.Inc()
 				cnt, maxW, minW, tr := windowStats(man, allowed, wantTrack, s, vLen, vLo, vHi, &budget)
 				truncated = truncated || tr
+				if tr {
+					cWinTrunc.Inc()
+				}
 				if cnt <= 0 {
+					cWinRejects.Inc()
 					continue
 				}
 				out = append(out, groupCand{
@@ -440,8 +466,10 @@ func compressCombos(cs []halfCombo) []halfCombo {
 func (g *muxGraph) chainDP() dpVals {
 	type valMap map[muxState]dpVals
 	cur := valMap{{lastV: lastVNone, aTrack: -1}: {ok: true, count: 1}}
+	cExpand := g.params.Obs.Metrics().Counter("core.dp_expansions")
 
 	merge := func(m valMap, s muxState, cnt, best, worst float64) {
+		cExpand.Inc()
 		v, ok := m[s]
 		if !ok || !v.ok {
 			m[s] = dpVals{ok: true, count: cnt, best: best, worst: worst}

@@ -41,6 +41,7 @@ func Ablations(sc Scale) (*Table, error) {
 		Design: session.SH, Manifest: manSH,
 		Bandwidth: netem.GenerateCellular(netem.CellularConfig{Seed: 2, MeanBps: 500_000, Variability: 0.3}),
 		Duration:  sc.SessionSec, Seed: 2,
+		Obs: sc.Obs.Child(),
 	})
 	if err != nil {
 		return nil, err
@@ -52,6 +53,7 @@ func Ablations(sc Scale) (*Table, error) {
 		{"with discount (default)", core.Params{MediaHost: manSH.Host}},
 		{"no header discount", core.Params{MediaHost: manSH.Host, MinResponseHeaderBytes: -1}},
 	} {
+		variant.p.Obs = sc.Obs.Child()
 		t.Rows = append(t.Rows, ablRow("header-discount", variant.name, manSH, resSH, variant.p))
 	}
 
@@ -60,6 +62,7 @@ func Ablations(sc Scale) (*Table, error) {
 		Design: session.SQ, Manifest: manSH,
 		Bandwidth: netem.GenerateCellular(netem.CellularConfig{Seed: 4, MeanBps: 5_000_000, Variability: 0.4}),
 		Duration:  sc.SessionSec, Seed: 4,
+		Obs: sc.Obs.Child(),
 	})
 	if err != nil {
 		return nil, err
@@ -73,6 +76,7 @@ func Ablations(sc Scale) (*Table, error) {
 		{"SP2 only", core.Params{MediaHost: manSH.Host, Mux: true, IdleSplitSec: 1e9}},
 		{"SP1+SP2+display", core.Params{MediaHost: manSH.Host, Mux: true, Display: resSQ.Run.Display}},
 	} {
+		variant.p.Obs = sc.Obs.Child()
 		t.Rows = append(t.Rows, ablRow("sq-split-points", variant.name, manSH, resSQ, variant.p))
 	}
 	return t, nil

@@ -39,11 +39,12 @@ func Baseline(sc Scale) (*Table, error) {
 					Seed: int64(ti) + 40, MeanBps: 5_000_000, Variability: 0.4,
 				}),
 				Duration: sc.SessionSec, Seed: int64(ti),
+				Obs: sc.Obs.Child(),
 			})
 			if err != nil {
 				return nil, err
 			}
-			p := core.Params{MediaHost: man.Host}
+			p := core.Params{MediaHost: man.Host, Obs: sc.Obs.Child()}
 			est, err := core.Estimate(res.Run.Trace, p)
 			if err != nil {
 				return nil, err

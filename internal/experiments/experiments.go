@@ -7,6 +7,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"csi/internal/obs"
 )
 
 // Scale trades fidelity for runtime. Full approximates the paper's scale
@@ -18,6 +20,18 @@ type Scale struct {
 	SessionSec  float64 // streaming duration per run
 	Samples     int     // sequence samples for uniqueness estimation
 	MaxVideoSec float64 // cap on analyzed video duration
+
+	// Obs, when non-nil, instruments the sessions and inference runs the
+	// drivers execute (cmd/csi-paper wires it from -trace-out/-metrics).
+	// Drivers hand each run a Child tracer, so metrics aggregate across
+	// runs while clocks stay per-session; record interleaving across the
+	// concurrent evaluation goroutines follows scheduling, so — unlike the
+	// single-session csi-run/csi-analyze paths — csi-paper traces are not
+	// byte-deterministic. Timing stays uninstrumented: it measures real
+	// inference latency. Obs is ignored by the Scale-keyed eval cache only
+	// in the sense that it rides along in the key; pass the same tracer
+	// for a whole csi-paper invocation.
+	Obs *obs.Tracer
 }
 
 // Full is the EXPERIMENTS.md scale. The paper streams 10-minute sessions

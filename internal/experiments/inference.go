@@ -80,6 +80,7 @@ func evalRuns(design session.Design, sc Scale) ([]runOutcome, error) {
 			res, err := session.Run(session.Config{
 				Design: design, Manifest: jb.man, Bandwidth: jb.bw,
 				Duration: sc.SessionSec, Seed: jb.seed,
+				Obs: sc.Obs.Child(),
 			})
 			if err != nil {
 				mu.Lock()
@@ -95,7 +96,7 @@ func evalRuns(design session.Design, sc Scale) ([]runOutcome, error) {
 				return
 			}
 			o := runOutcome{}
-			p := core.Params{MediaHost: jb.man.Host, Mux: design == session.SQ}
+			p := core.Params{MediaHost: jb.man.Host, Mux: design == session.SQ, Obs: sc.Obs.Child()}
 			inf, err := core.Infer(jb.man, res.Run.Trace, p)
 			if err != nil {
 				o.err = err

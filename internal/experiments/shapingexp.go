@@ -175,6 +175,7 @@ func HuluBasics(sc Scale) (*Table, error) {
 			MaxBufferSec:    145,
 			ResumeBufferSec: 145,
 			StartupChunks:   3,
+			Obs:             sc.Obs.Child(),
 		}
 		res, err := session.Run(cfg)
 		if err != nil {

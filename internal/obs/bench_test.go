@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+// The package's cost contract: a nil tracer/handle is a branch on a nil
+// pointer, nothing more. These micro-benchmarks pin the absolute numbers
+// the Off/On pairs in sim, tcpsim and the root package build on.
+
+func BenchmarkNilTracerEvent(b *testing.B) {
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		tr.Event("tcp", "rto")
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// discardSink measures emission cost without collector append noise.
+type discardSink struct{}
+
+func (discardSink) Emit(Record) {}
+
+func BenchmarkLiveTracerEvent(b *testing.B) {
+	tr := New(nil, discardSink{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Event("tcp", "rto", Int("conn", 1))
+	}
+}
+
+func BenchmarkLiveCounterInc(b *testing.B) {
+	c := New(nil, discardSink{}).Metrics().Counter("bench.count")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

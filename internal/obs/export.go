@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export (load in Perfetto / chrome://tracing)
+
+// ChromeTraceOptions configures the Chrome trace export.
+type ChromeTraceOptions struct {
+	// WallClockMeta stamps the export with the real-world export time in a
+	// metadata section. It is OFF by default because it breaks the
+	// byte-identical determinism contract; goldens must not enable it.
+	WallClockMeta bool
+}
+
+// wallNow is the single wall-clock read of the observability layer. It is
+// reachable only through ChromeTraceOptions.WallClockMeta — never on a
+// default export path — and the file is allowlisted for the csi-vet
+// determinism rule in .csi-vet.conf.
+func wallNow() time.Time { return time.Now() }
+
+// chromeEvent is one trace-event object. Struct-field order fixes the JSON
+// key order, which keeps exports byte-stable.
+type chromeEvent struct {
+	Name  string          `json:"name"`
+	Cat   string          `json:"cat,omitempty"`
+	Ph    string          `json:"ph"`
+	Ts    float64         `json:"ts"` // microseconds of virtual time
+	Pid   int             `json:"pid"`
+	Tid   int             `json:"tid"`
+	ID    string          `json:"id,omitempty"`
+	Scope string          `json:"s,omitempty"`
+	Args  json.RawMessage `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders records as a Chrome trace-event JSON document.
+// Spans become async begin/end pairs, instants become instant events,
+// samples become counter tracks; each component gets its own thread lane,
+// numbered in first-seen order so output is deterministic.
+func WriteChromeTrace(w io.Writer, recs []Record, opts ChromeTraceOptions) error {
+	var b bytes.Buffer
+	b.WriteString("{\"traceEvents\":[")
+
+	tids := map[string]int{}
+	var tidOrder []string
+	tidOf := func(comp string) int {
+		if id, ok := tids[comp]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[comp] = id
+		tidOrder = append(tidOrder, comp)
+		return id
+	}
+	// Pre-assign lanes in first-appearance order so thread metadata can be
+	// emitted up front.
+	for _, r := range recs {
+		tidOf(r.Comp)
+	}
+
+	first := true
+	put := func(ev chromeEvent) error {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.Write(data)
+		return nil
+	}
+
+	for _, comp := range tidOrder {
+		err := put(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[comp],
+			Args: json.RawMessage(fmt.Sprintf("{\"name\":%s}", mustJSON(comp))),
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, r := range recs {
+		ev := chromeEvent{Name: r.Name, Cat: r.Comp, Ts: r.Time * 1e6, Pid: 1, Tid: tids[r.Comp]}
+		switch r.Kind {
+		case SpanBegin, SpanEnd:
+			if r.Kind == SpanBegin {
+				ev.Ph = "b"
+			} else {
+				ev.Ph = "e"
+			}
+			ev.ID = "0x" + strconv.FormatInt(r.Span, 16)
+		case Instant:
+			ev.Ph = "i"
+			ev.Scope = "t"
+		case SampleRec:
+			ev.Ph = "C"
+			ev.Name = r.Comp + "." + r.Name
+			ev.Args = json.RawMessage(fmt.Sprintf("{\"value\":%s}", formatFloat(r.Value)))
+		}
+		if len(r.Fields) > 0 {
+			ev.Args = fieldsJSON(r.Fields)
+		}
+		if err := put(ev); err != nil {
+			return err
+		}
+	}
+
+	b.WriteString("],\"displayTimeUnit\":\"ms\"")
+	if opts.WallClockMeta {
+		fmt.Fprintf(&b, ",\"metadata\":{\"exported_at\":%s}",
+			mustJSON(wallNow().UTC().Format(time.RFC3339Nano)))
+	}
+	b.WriteString("}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// fieldsJSON renders fields as a JSON object with keys in field order.
+func fieldsJSON(fields []Field) json.RawMessage {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.Write(mustJSON(f.Key))
+		b.WriteByte(':')
+		switch f.Kind {
+		case FieldStr:
+			b.Write(mustJSON(f.Str))
+		case FieldInt:
+			b.WriteString(strconv.FormatInt(f.Int, 10))
+		case FieldFloat:
+			b.WriteString(formatFloat(f.Float))
+		}
+	}
+	b.WriteByte('}')
+	return b.Bytes()
+}
+
+// mustJSON marshals a plain string; strings never fail to marshal.
+func mustJSON(s string) json.RawMessage {
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic("obs: marshal string: " + err.Error())
+	}
+	return data
+}
+
+// ---------------------------------------------------------------------------
+// JSONL event-log export / import (the format csi-trace -timeline reads)
+
+type jsonField struct {
+	K string   `json:"k"`
+	S *string  `json:"s,omitempty"`
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+}
+
+type jsonRecord struct {
+	T float64     `json:"t"`
+	K string      `json:"k"` // b | e | i | s
+	C string      `json:"c"`
+	N string      `json:"n"`
+	S int64       `json:"span,omitempty"`
+	V *float64    `json:"v,omitempty"`
+	F []jsonField `json:"f,omitempty"`
+}
+
+// WriteJSONEvents renders records as one JSON object per line.
+func WriteJSONEvents(w io.Writer, recs []Record) error {
+	var b bytes.Buffer
+	for i := range recs {
+		r := &recs[i]
+		jr := jsonRecord{T: r.Time, K: r.Kind.String(), C: r.Comp, N: r.Name, S: r.Span}
+		if r.Kind == SampleRec {
+			v := r.Value
+			jr.V = &v
+		}
+		for _, f := range r.Fields {
+			jf := jsonField{K: f.Key}
+			switch f.Kind {
+			case FieldStr:
+				s := f.Str
+				jf.S = &s
+			case FieldInt:
+				iv := f.Int
+				jf.I = &iv
+			case FieldFloat:
+				v := f.Float
+				jf.F = &v
+			}
+			jr.F = append(jr.F, jf)
+		}
+		data, err := json.Marshal(jr)
+		if err != nil {
+			return err
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// ReadJSONEvents parses a JSONL event log written by WriteJSONEvents.
+func ReadJSONEvents(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		var jr jsonRecord
+		if err := json.Unmarshal(text, &jr); err != nil {
+			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
+		}
+		rec := Record{Time: jr.T, Comp: jr.C, Name: jr.N, Span: jr.S}
+		switch jr.K {
+		case "b":
+			rec.Kind = SpanBegin
+		case "e":
+			rec.Kind = SpanEnd
+		case "i":
+			rec.Kind = Instant
+		case "s":
+			rec.Kind = SampleRec
+		default:
+			return nil, fmt.Errorf("obs: event log line %d: unknown kind %q", line, jr.K)
+		}
+		if jr.V != nil {
+			rec.Value = *jr.V
+		}
+		for _, jf := range jr.F {
+			switch {
+			case jf.S != nil:
+				rec.Fields = append(rec.Fields, Str(jf.K, *jf.S))
+			case jf.I != nil:
+				rec.Fields = append(rec.Fields, Int(jf.K, *jf.I))
+			case jf.F != nil:
+				rec.Fields = append(rec.Fields, Float(jf.K, *jf.F))
+			default:
+				rec.Fields = append(rec.Fields, Str(jf.K, ""))
+			}
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Text timeline (csi-trace -timeline)
+
+// WriteTimeline renders spans and instants chronologically, indented by the
+// per-component open-span depth, followed by a summary of sample series.
+// Samples are elided from the main listing (cwnd trajectories alone can run
+// to thousands of points); load the Chrome trace in Perfetto for those.
+func WriteTimeline(w io.Writer, recs []Record) error {
+	var b bytes.Buffer
+	if len(recs) == 0 {
+		b.WriteString("timeline: no records\n")
+		_, err := w.Write(b.Bytes())
+		return err
+	}
+	lo, hi := recs[0].Time, recs[0].Time
+	for _, r := range recs {
+		if r.Time < lo {
+			lo = r.Time
+		}
+		if r.Time > hi {
+			hi = r.Time
+		}
+	}
+	fmt.Fprintf(&b, "timeline: %d records, t=%.6fs .. %.6fs\n\n", len(recs), lo, hi)
+
+	depth := map[string]int{}
+	beginAt := map[int64]float64{}
+	samples := map[string]int{}
+	for _, r := range recs {
+		switch r.Kind {
+		case SampleRec:
+			samples[r.Comp+"."+r.Name]++
+			continue
+		case SpanEnd:
+			if depth[r.Comp] > 0 {
+				depth[r.Comp]--
+			}
+		}
+		fmt.Fprintf(&b, "%12.6f  %-8s %s%s", r.Time, r.Comp, indent(depth[r.Comp]), r.Name)
+		switch r.Kind {
+		case SpanBegin:
+			b.WriteString(" {")
+			depth[r.Comp]++
+			beginAt[r.Span] = r.Time
+		case SpanEnd:
+			if t0, ok := beginAt[r.Span]; ok {
+				fmt.Fprintf(&b, " } dur=%.6fs", r.Time-t0)
+				delete(beginAt, r.Span)
+			} else {
+				b.WriteString(" }")
+			}
+		}
+		for _, f := range r.Fields {
+			switch f.Kind {
+			case FieldStr:
+				fmt.Fprintf(&b, " %s=%s", f.Key, f.Str)
+			case FieldInt:
+				fmt.Fprintf(&b, " %s=%d", f.Key, f.Int)
+			case FieldFloat:
+				fmt.Fprintf(&b, " %s=%s", f.Key, formatFloat(f.Float))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(samples) > 0 {
+		b.WriteString("\nsample series (see the Chrome trace export for values):\n")
+		var names []string
+		for name := range samples {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-32s %d samples\n", name, samples[name])
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+func indent(n int) string {
+	const pad = "  .  .  .  .  .  .  .  .  .  .  .  .  .  .  .  ."
+	if n <= 0 {
+		return ""
+	}
+	if 3*n > len(pad) {
+		n = len(pad) / 3
+	}
+	return pad[:3*n]
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// WriteTraceFile writes records to path, choosing the format by extension:
+// ".jsonl" selects the JSONL event log (the format csi-trace -timeline
+// reads); anything else gets the Chrome trace-event document for Perfetto /
+// chrome://tracing. Output is byte-deterministic for a given record set.
+func WriteTraceFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = WriteJSONEvents(f, recs)
+	} else {
+		err = WriteChromeTrace(f, recs, ChromeTraceOptions{})
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: writing trace %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteMetricsFile writes the registry's text dump to path ("-" = stdout).
+func WriteMetricsFile(path string, reg *Registry) error {
+	if path == "-" {
+		return reg.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = reg.WriteText(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: writing metrics %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named counters, gauges and histograms. Handles are cheap
+// to resolve and safe for concurrent use; resolve them once at component
+// construction time, not on hot paths. The nil *Registry hands out nil
+// handles, whose methods all no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing integer metric. The nil *Counter
+// no-ops, costing one pointer check.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float metric.
+type Gauge struct {
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+// Set records the value. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.set.Store(true)
+}
+
+// Value returns the last value and whether one was ever set.
+func (g *Gauge) Value() (float64, bool) {
+	if g == nil || !g.set.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(g.bits.Load()), true
+}
+
+// Histogram counts observations into caller-defined cumulative buckets
+// (counts[i] covers values <= Bounds[i]; one implicit overflow bucket).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last = overflow
+	n      int64
+	sum    float64
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Snapshot returns the observation count, value sum and per-bucket counts.
+func (h *Histogram) Snapshot() (n int64, sum float64, counts []int64) {
+	if h == nil {
+		return 0, 0, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n, h.sum, append([]int64(nil), h.counts...)
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe: a nil
+// registry returns a nil handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. The bounds of
+// the first creation win; bounds must be sorted ascending. Nil-safe.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		b := append([]float64(nil), bounds...)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteText renders the registry as a deterministic text dump: sections for
+// counters, gauges and histograms, each sorted by metric name.
+func (r *Registry) WriteText(w io.Writer) error {
+	var b bytes.Buffer
+	if r == nil {
+		b.WriteString("# metrics: disabled\n")
+		_, err := w.Write(b.Bytes())
+		return err
+	}
+	r.mu.Lock()
+	var cn, gn, hn []string
+	for name := range r.counters {
+		cn = append(cn, name)
+	}
+	for name := range r.gauges {
+		gn = append(gn, name)
+	}
+	for name := range r.hists {
+		hn = append(hn, name)
+	}
+	sort.Strings(cn)
+	sort.Strings(gn)
+	sort.Strings(hn)
+	counters := r.counters
+	gauges := r.gauges
+	hists := r.hists
+	r.mu.Unlock()
+
+	b.WriteString("# counters\n")
+	for _, name := range cn {
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
+	}
+	b.WriteString("# gauges\n")
+	for _, name := range gn {
+		if v, ok := gauges[name].Value(); ok {
+			fmt.Fprintf(&b, "%s %s\n", name, formatFloat(v))
+		}
+	}
+	b.WriteString("# histograms\n")
+	for _, name := range hn {
+		h := hists[name]
+		n, sum, counts := h.Snapshot()
+		fmt.Fprintf(&b, "%s count=%d sum=%s", name, n, formatFloat(sum))
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			if i < len(h.bounds) {
+				fmt.Fprintf(&b, " le%s=%d", formatFloat(h.bounds[i]), cum)
+			} else {
+				fmt.Fprintf(&b, " inf=%d", cum)
+			}
+		}
+		b.WriteString("\n")
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// formatFloat renders floats with the shortest round-trippable
+// representation, keeping text dumps byte-stable across runs.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

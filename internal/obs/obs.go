@@ -1,0 +1,264 @@
+// Package obs is the deterministic observability layer of the repository:
+// spans, structured events, value samples and a metrics registry, stamped
+// with *virtual* time.
+//
+// Determinism contract. Every timestamp comes from a caller-supplied Clock
+// — the simulation engine's virtual clock for emulated sessions, a
+// StepClock for the post-hoc inference pipeline — and sinks receive records
+// in emission order, so two runs with the same seed produce byte-identical
+// exports. The only wall-clock read in the package lives in export.go,
+// behind an explicit opt-in (ChromeTraceOptions.WallClockMeta), and is
+// allowlisted in .csi-vet.conf; nothing else in the library may read
+// ambient time (enforced by the csi-vet determinism rule).
+//
+// Cost contract. A nil *Tracer is a valid, fully disabled tracer: every
+// method is nil-safe, so instrumented hot paths pay one pointer check when
+// observability is off. Code on hot paths should pre-resolve *Counter
+// handles (also nil-safe) and guard event construction with Enabled().
+//
+// Concurrency. Metrics handles are safe for concurrent use (experiment
+// drivers fan sessions out across goroutines); the Collector sink
+// serializes Emit with a mutex. Record order is the emission order, which
+// is deterministic whenever the instrumented code runs single-threaded —
+// the case for every fixed-seed csi-run / csi-analyze invocation.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Clock supplies the current virtual time in seconds.
+type Clock func() float64
+
+// StepClock returns a Clock that starts at 0 and advances by step seconds
+// per reading. It gives non-simulated phases (the inference pipeline) an
+// ordered, deterministic timeline.
+func StepClock(step float64) Clock {
+	n := -1
+	return func() float64 {
+		n++
+		// Multiply rather than accumulate: n*step has one rounding, so
+		// timestamps stay clean (0.000005, not 0.0000049999...).
+		return float64(n) * step
+	}
+}
+
+// FieldKind discriminates the value stored in a Field.
+type FieldKind uint8
+
+const (
+	FieldStr FieldKind = iota
+	FieldInt
+	FieldFloat
+)
+
+// Field is one structured key/value attached to a record.
+type Field struct {
+	Key   string
+	Kind  FieldKind
+	Str   string
+	Int   int64
+	Float float64
+}
+
+// Str builds a string field.
+func Str(key, v string) Field { return Field{Key: key, Kind: FieldStr, Str: v} }
+
+// Int builds an integer field.
+func Int(key string, v int64) Field { return Field{Key: key, Kind: FieldInt, Int: v} }
+
+// Float builds a float field.
+func Float(key string, v float64) Field { return Field{Key: key, Kind: FieldFloat, Float: v} }
+
+// RecordKind is the type of a trace record.
+type RecordKind uint8
+
+const (
+	// SpanBegin opens a span (paired with SpanEnd via the Span id).
+	SpanBegin RecordKind = iota
+	// SpanEnd closes a span.
+	SpanEnd
+	// Instant is a point event.
+	Instant
+	// SampleRec carries one numeric sample of a named series (Value).
+	SampleRec
+)
+
+// String returns the compact record-kind tag used by the JSONL export.
+func (k RecordKind) String() string {
+	switch k {
+	case SpanBegin:
+		return "b"
+	case SpanEnd:
+		return "e"
+	case Instant:
+		return "i"
+	case SampleRec:
+		return "s"
+	}
+	return "?"
+}
+
+// Record is one emitted observation.
+type Record struct {
+	Time   float64 // virtual seconds
+	Kind   RecordKind
+	Comp   string // component lane: "sim", "tcp", "quic", "abr", "core", ...
+	Name   string
+	Span   int64   // span id for SpanBegin/SpanEnd, else 0
+	Value  float64 // SampleRec only
+	Fields []Field
+}
+
+// Sink receives records in emission order.
+type Sink interface {
+	Emit(Record)
+}
+
+// Collector is a Sink that retains every record in order.
+type Collector struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit appends the record.
+func (c *Collector) Emit(r Record) {
+	c.mu.Lock()
+	c.recs = append(c.recs, r)
+	c.mu.Unlock()
+}
+
+// Records returns the collected records in emission order. The returned
+// slice is shared with the collector; callers must stop emitting first.
+func (c *Collector) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recs
+}
+
+// Len returns the number of collected records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Tracer stamps records with virtual time and forwards them to a sink.
+// The nil *Tracer is the disabled tracer: every method no-ops.
+type Tracer struct {
+	mu      sync.Mutex
+	clock   Clock
+	sink    Sink
+	reg     *Registry
+	spanSeq *atomic.Int64 // shared across Child tracers: ids stay unique
+}
+
+// New builds a tracer. A nil clock defaults to StepClock(1e-6); a nil sink
+// drops records but keeps metrics working.
+func New(clock Clock, sink Sink) *Tracer {
+	if clock == nil {
+		clock = StepClock(1e-6)
+	}
+	return &Tracer{clock: clock, sink: sink, reg: NewRegistry(), spanSeq: &atomic.Int64{}}
+}
+
+// Child returns a tracer sharing this tracer's sink, metrics registry and
+// span-id space, but with an independent clock binding (a fresh StepClock
+// until SetClock rebinds it). Experiment drivers that fan sessions across
+// goroutines hand each session its own child so that one session's engine
+// clock never stamps another's records. Nil-safe: the nil tracer's child is
+// nil.
+func (t *Tracer) Child() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{clock: StepClock(1e-6), sink: t.sink, reg: t.reg, spanSeq: t.spanSeq}
+}
+
+// Enabled reports whether the tracer is live. Use it to guard field
+// construction on hot paths.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetClock rebinds the time source (the session layer binds the simulation
+// engine's clock once the engine exists). Nil-safe.
+func (t *Tracer) SetClock(c Clock) {
+	if t == nil || c == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = c
+	t.mu.Unlock()
+}
+
+// Metrics returns the tracer's registry, or nil for the nil tracer — and
+// registry lookups on a nil registry return nil-safe no-op handles, so
+// `tr.Metrics().Counter("x")` is always a valid expression.
+func (t *Tracer) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+func (t *Tracer) now() float64 {
+	t.mu.Lock()
+	c := t.clock
+	t.mu.Unlock()
+	return c()
+}
+
+func (t *Tracer) emit(r Record) {
+	if t.sink != nil {
+		t.sink.Emit(r)
+	}
+}
+
+// Event emits an instant event.
+func (t *Tracer) Event(comp, name string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.emit(Record{Time: t.now(), Kind: Instant, Comp: comp, Name: name, Fields: fields})
+}
+
+// Sample emits one numeric sample of the series comp/name (rendered as a
+// counter track in the Chrome trace export).
+func (t *Tracer) Sample(comp, name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.emit(Record{Time: t.now(), Kind: SampleRec, Comp: comp, Name: name, Value: v})
+}
+
+// Span is an in-progress span. The nil *Span no-ops on End.
+type Span struct {
+	t    *Tracer
+	id   int64
+	comp string
+	name string
+}
+
+// Begin opens a span and returns its handle; close it with End. Returns
+// nil (a valid no-op span) on the nil tracer.
+func (t *Tracer) Begin(comp, name string, fields ...Field) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.spanSeq.Add(1)
+	t.emit(Record{Time: t.now(), Kind: SpanBegin, Comp: comp, Name: name, Span: id, Fields: fields})
+	return &Span{t: t, id: id, comp: comp, name: name}
+}
+
+// End closes the span. Nil-safe; closing twice emits two end records (do
+// not).
+func (s *Span) End(fields ...Field) {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.emit(Record{Time: t.now(), Kind: SpanEnd, Comp: s.comp, Name: s.name, Span: s.id, Fields: fields})
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestNilTracerIsSafe drives the whole API surface through a nil tracer:
+// nothing may panic and nothing may be recorded.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.SetClock(StepClock(1))
+	tr.Event("c", "e", Int("k", 1))
+	tr.Sample("c", "s", 2.5)
+	sp := tr.Begin("c", "span")
+	sp.End(Float("d", 1))
+	if reg := tr.Metrics(); reg != nil {
+		t.Fatalf("nil tracer metrics = %v, want nil", reg)
+	}
+	tr.Metrics().Counter("x").Add(5)
+	tr.Metrics().Counter("x").Inc()
+	tr.Metrics().Gauge("g").Set(1)
+	tr.Metrics().Histogram("h", []float64{1, 2}).Observe(1.5)
+	if v := tr.Metrics().Counter("x").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	if _, ok := tr.Metrics().Gauge("g").Value(); ok {
+		t.Fatal("nil gauge reports a value")
+	}
+	if n, _, _ := tr.Metrics().Histogram("h", nil).Snapshot(); n != 0 {
+		t.Fatalf("nil histogram count = %d", n)
+	}
+}
+
+func TestStepClock(t *testing.T) {
+	c := StepClock(0.5)
+	for i, want := range []float64{0, 0.5, 1, 1.5} {
+		if got := c(); got != want {
+			t.Fatalf("tick %d = %g, want %g", i, got, want)
+		}
+	}
+}
+
+// TestSpanNesting checks begin/end pairing, span ids and the virtual
+// timestamps stamped from the tracer clock.
+func TestSpanNesting(t *testing.T) {
+	sink := NewCollector()
+	tr := New(StepClock(1), sink)
+	outer := tr.Begin("comp", "outer", Str("who", "a"))
+	inner := tr.Begin("comp", "inner")
+	tr.Event("comp", "tick")
+	inner.End(Int("n", 3))
+	outer.End()
+
+	recs := sink.Records()
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	wantKinds := []RecordKind{SpanBegin, SpanBegin, Instant, SpanEnd, SpanEnd}
+	for i, k := range wantKinds {
+		if recs[i].Kind != k {
+			t.Fatalf("record %d kind = %v, want %v", i, recs[i].Kind, k)
+		}
+		if recs[i].Time != float64(i) {
+			t.Fatalf("record %d time = %g, want %d", i, recs[i].Time, i)
+		}
+	}
+	if recs[0].Span != recs[4].Span || recs[1].Span != recs[3].Span {
+		t.Fatalf("span ids not paired: %+v", recs)
+	}
+	if recs[0].Span == recs[1].Span {
+		t.Fatal("outer and inner spans share an id")
+	}
+	if recs[3].Name != "inner" || recs[4].Name != "outer" {
+		t.Fatalf("end records carry wrong names: %q %q", recs[3].Name, recs[4].Name)
+	}
+}
+
+// TestHistogramBucketing pins the cumulative bucket semantics: counts[i]
+// covers values <= bounds[i], with one overflow bucket.
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	n, sum, counts := h.Snapshot()
+	if n != 7 {
+		t.Fatalf("count = %d, want 7", n)
+	}
+	if sum != 111.5 {
+		t.Fatalf("sum = %g, want 111.5", sum)
+	}
+	// Per-bucket (non-cumulative): <=1: {0,1} = 2; <=2: {1.5,2} = 2;
+	// <=4: {3,4} = 2; overflow: {100} = 1.
+	want := []int64{2, 2, 2, 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", counts, want)
+	}
+	// Same-name lookups return the same histogram; first bounds win.
+	if h2 := reg.Histogram("h", []float64{99}); h2 != h {
+		t.Fatal("histogram lookup did not return the existing histogram")
+	}
+}
+
+func TestRegistryWriteTextDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(2)
+	reg.Counter("a.count").Inc()
+	reg.Gauge("z.gauge").Set(1.25)
+	reg.Histogram("m.hist", []float64{1, 10}).Observe(3)
+
+	var first string
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		if err := reg.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("WriteText not deterministic:\n%s\nvs\n%s", first, buf.String())
+		}
+	}
+	want := "# counters\na.count 1\nb.count 2\n# gauges\nz.gauge 1.25\n# histograms\nm.hist count=1 sum=3 le1=0 le10=1 inf=1\n"
+	if first != want {
+		t.Fatalf("WriteText =\n%q\nwant\n%q", first, want)
+	}
+}
+
+// sampleRecords builds a small record set covering every kind and field
+// type.
+func sampleRecords() []Record {
+	sink := NewCollector()
+	tr := New(StepClock(0.25), sink)
+	sp := tr.Begin("session", "run", Str("design", "SH"))
+	tr.Event("tcp", "rto", Int("conn", 2), Float("rto", 0.35))
+	tr.Sample("abr", "buffer_sec", 12.5)
+	sp.End(Int("chunks", 9))
+	return sink.Records()
+}
+
+func TestJSONEventsRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteJSONEvents(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, back) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", recs, back)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	recs := sampleRecords()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, recs, ChromeTraceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, recs, ChromeTraceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("chrome trace export not deterministic")
+	}
+	// The document must be valid JSON with the expected envelope.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 3 thread_name metadata lanes + 4 records.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("got %d trace events, want 7", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["M"] != 3 || phases["b"] != 1 || phases["e"] != 1 || phases["i"] != 1 || phases["C"] != 1 {
+		t.Fatalf("phase histogram = %v", phases)
+	}
+	if strings.Contains(a.String(), "exported_at") {
+		t.Fatal("wall-clock metadata leaked into a default export")
+	}
+}
+
+func TestChromeTraceWallClockMetaOptIn(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleRecords(), ChromeTraceOptions{WallClockMeta: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "exported_at") {
+		t.Fatal("WallClockMeta did not stamp the export")
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("wall-clock export is not valid JSON")
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"timeline: 4 records", "run {", "} dur=0.75", "rto", "abr.buffer_sec", "1 samples"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

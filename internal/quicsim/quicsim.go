@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"csi/internal/ivl"
+	"csi/internal/obs"
 	"csi/internal/packet"
 	"csi/internal/sim"
 )
@@ -52,6 +53,7 @@ type Config struct {
 	ServerIP string  // server address surfaced in packet views
 	InitCwnd int64   // bytes; default 10 * maxPayload
 	PTOMin   float64 // default 0.1 s
+	Obs      *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +141,14 @@ type Endpoint struct {
 	PTOs          int64
 	RetxBytes     int64
 	DeliveredByte int64
+
+	// Observability (all handles nil-safe).
+	tr            *obs.Tracer
+	cPackets      *obs.Counter
+	cAcks         *obs.Counter
+	cLost         *obs.Counter
+	cPTOs         *obs.Counter
+	lastCwndTrace float64
 }
 
 // Conn is a QUIC connection between client and server endpoints.
@@ -162,7 +172,7 @@ func NewConn(eng *sim.Engine, cfg Config, up, down packet.Sender) *Conn {
 }
 
 func newEndpoint(eng *sim.Engine, cfg Config, out packet.Sender, dir packet.Dir) *Endpoint {
-	return &Endpoint{
+	ep := &Endpoint{
 		eng:      eng,
 		cfg:      cfg,
 		out:      out,
@@ -172,6 +182,34 @@ func newEndpoint(eng *sim.Engine, cfg Config, out packet.Sender, dir packet.Dir)
 		streams:  make(map[int64]*sendStream),
 		recv:     make(map[int64]*recvStream),
 	}
+	// As in tcpsim, only the download direction traces: it carries the media
+	// bytes the inference pipeline reasons about.
+	if dir == packet.Down {
+		ep.tr = cfg.Obs
+		reg := cfg.Obs.Metrics()
+		ep.cPackets = reg.Counter("quic.packets_sent")
+		ep.cAcks = reg.Counter("quic.ack_packets")
+		ep.cLost = reg.Counter("quic.packets_lost")
+		ep.cPTOs = reg.Counter("quic.ptos")
+	}
+	return ep
+}
+
+// traceCwnd samples the congestion-window trajectory once the window has
+// moved at least one packet's worth since the last sample.
+func (ep *Endpoint) traceCwnd() {
+	if ep.tr == nil {
+		return
+	}
+	d := ep.cwnd - ep.lastCwndTrace
+	if d < 0 {
+		d = -d
+	}
+	if d < maxPayload {
+		return
+	}
+	ep.lastCwndTrace = ep.cwnd
+	ep.tr.Sample("quic", "cwnd_bytes", ep.cwnd)
 }
 
 // DeliverToClient / DeliverToServer return link delivery callbacks.
@@ -281,6 +319,13 @@ func (ep *Endpoint) Write(sid int64, n int64, onDelivered func(now float64)) {
 	start := st.nextOff
 	st.nextOff += n
 	st.pending = append(st.pending, chunk{sid: sid, off: start, ln: n})
+	if ep.tr != nil {
+		ep.tr.Event("quic", "stream_write",
+			obs.Int("conn", int64(ep.cfg.ConnID)),
+			obs.Int("sid", sid),
+			obs.Int("off", start),
+			obs.Int("n", n))
+	}
 	if onDelivered != nil {
 		prs := ep.peer.recvStream(sid)
 		prs.inbox = append(prs.inbox, message{end: st.nextOff, fn: onDelivered})
@@ -373,6 +418,7 @@ func (ep *Endpoint) sendDataPacket() {
 	pn := ep.pnNext
 	ep.pnNext++
 	ep.SentPackets++
+	ep.cPackets.Inc()
 	sp := &sentPacket{pn: pn, frames: frames, size: payload, t: ep.eng.Now()}
 	ep.sent = append(ep.sent, sp)
 	ep.inFlight += payload
@@ -467,6 +513,7 @@ func (ep *Endpoint) sendAck() {
 	pn := ep.pnNext
 	ep.pnNext++
 	ep.AckPackets++
+	ep.cAcks.Inc()
 	largest := ep.largestRecvd
 	peer := ep.peer
 	p := &packet.Packet{
@@ -543,8 +590,15 @@ func (ep *Endpoint) onAck(pns []int64, largest int64) {
 		if pnLost || timeLost {
 			sp.lost = true
 			ep.LostPackets++
+			ep.cLost.Inc()
 			ep.inFlight -= sp.size
 			ep.requeue(sp.frames)
+			if ep.tr != nil {
+				ep.tr.Event("quic", "packet_lost",
+					obs.Int("conn", int64(ep.cfg.ConnID)),
+					obs.Int("pn", sp.pn),
+					obs.Int("bytes", sp.size))
+			}
 			if sp.pn > ep.recoveryEnd {
 				congested = true
 			}
@@ -557,6 +611,9 @@ func (ep *Endpoint) onAck(pns []int64, largest int64) {
 		}
 		ep.cwnd = ep.ssthresh
 		ep.recoveryEnd = ep.pnNext
+	}
+	if newlyAcked > 0 || congested {
+		ep.traceCwnd()
 	}
 	ep.pruneSent()
 	if ep.inFlight > 0 {
@@ -635,7 +692,14 @@ func (ep *Endpoint) onPTO() {
 		return
 	}
 	ep.PTOs++
+	ep.cPTOs.Inc()
 	ep.ptoCount++
+	if ep.tr != nil {
+		ep.tr.Event("quic", "pto",
+			obs.Int("conn", int64(ep.cfg.ConnID)),
+			obs.Int("count", int64(ep.ptoCount)),
+			obs.Int("in_flight", ep.inFlight))
+	}
 	// Tail loss probe: elicit an acknowledgement with a tiny PING packet
 	// instead of duplicating data. The probe's ACK raises the largest
 	// acked packet number and its send-time reference, letting

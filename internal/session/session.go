@@ -12,6 +12,7 @@ import (
 	"csi/internal/capture"
 	"csi/internal/media"
 	"csi/internal/netem"
+	"csi/internal/obs"
 	"csi/internal/packet"
 	"csi/internal/quicsim"
 	"csi/internal/sim"
@@ -99,6 +100,11 @@ type Config struct {
 	// encrypted ClientHello / ESNI deployments: CSI must then fall back to
 	// DNS + server-IP association (§5.3.1).
 	StripSNI bool
+
+	// Obs traces the whole session stack (engine, transports, player). The
+	// tracer's clock is rebound to the session engine's virtual clock for
+	// the duration of the run. Nil disables instrumentation.
+	Obs *obs.Tracer
 }
 
 // Stats summarizes transport- and player-level outcomes of a run.
@@ -164,6 +170,12 @@ func Run(cfg Config) (*Result, error) {
 
 	eng := sim.New()
 	eng.SetEventLimit(200_000_000)
+	cfg.Obs.SetClock(eng.Now)
+	eng.Instrument(cfg.Obs)
+	runSpan := cfg.Obs.Begin("session", "run",
+		obs.Str("design", cfg.Design.String()),
+		obs.Int("seed", cfg.Seed),
+		obs.Float("duration", cfg.Duration))
 	trace := capture.NewTrace()
 	tap := trace.Tap()
 	if cfg.StripSNI {
@@ -229,12 +241,12 @@ func Run(cfg Config) (*Result, error) {
 		return ip
 	}
 	newTCP := func(host string) (*tcpsim.Conn, *tlssim.Session) {
-		conn := tcpsim.NewConn(eng, tcpsim.Config{ConnID: nextConnID, ServerIP: ipFor(host)}, up, downSender)
+		conn := tcpsim.NewConn(eng, tcpsim.Config{ConnID: nextConnID, ServerIP: ipFor(host), Obs: cfg.Obs}, up, downSender)
 		nextConnID++
 		return conn, tlssim.NewSession(conn)
 	}
 	newQUIC := func(host string) *quicsim.Conn {
-		conn := quicsim.NewConn(eng, quicsim.Config{ConnID: nextConnID, ServerIP: ipFor(host)}, up, downSender)
+		conn := quicsim.NewConn(eng, quicsim.Config{ConnID: nextConnID, ServerIP: ipFor(host), Obs: cfg.Obs}, up, downSender)
 		nextConnID++
 		return conn
 	}
@@ -301,6 +313,7 @@ func Run(cfg Config) (*Result, error) {
 		StartIndex:       cfg.StartIndex,
 		StartupBufferSec: cfg.StartupBufferSec,
 		StopAt:           cfg.Duration,
+		Obs:              cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -309,6 +322,9 @@ func Run(cfg Config) (*Result, error) {
 
 	eng.Run()
 	player.Finish()
+	runSpan.End(
+		obs.Int("events", eng.Fired()),
+		obs.Int("stalls", int64(len(player.Stalls()))))
 
 	res := &Result{
 		Run: &capture.Run{

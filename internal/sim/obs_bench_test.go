@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"testing"
+
+	"csi/internal/obs"
+)
+
+// benchEngine drives the self-scheduling tick loop of BenchmarkEngine with
+// an explicit tracer, so the Off/On pair isolates the cost the obs hooks
+// add to event dispatch. Off (nil tracer) must match the uninstrumented
+// BenchmarkEngine within noise: the hooks reduce to one pointer check.
+func benchEngine(b *testing.B, tr *obs.Tracer) {
+	e := New()
+	e.Instrument(tr)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(0.001, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkEngineObsOff(b *testing.B) { benchEngine(b, nil) }
+
+func BenchmarkEngineObsOn(b *testing.B) { benchEngine(b, obs.New(nil, obs.NewCollector())) }

@@ -10,6 +10,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"csi/internal/obs"
 )
 
 // Event is a scheduled callback. It can be cancelled before it fires.
@@ -68,6 +70,27 @@ type Engine struct {
 	pq     eventHeap
 	fired  int64
 	maxEvt int64 // safety valve; 0 = unlimited
+
+	// Observability handles; all nil-safe, so the uninstrumented engine
+	// pays one pointer check per site.
+	tr           *obs.Tracer
+	cScheduled   *obs.Counter
+	cFired       *obs.Counter
+	cCancelSkips *obs.Counter
+}
+
+// queueDepthEvery is the dispatch interval between queue-depth samples.
+// Pending() is O(queue), so sampling every event would turn dispatch
+// quadratic on deep queues.
+const queueDepthEvery = 4096
+
+// Instrument attaches a tracer to the engine. Pass nil to detach. Counter
+// handles are resolved once here, keeping Step and At allocation-free.
+func (e *Engine) Instrument(tr *obs.Tracer) {
+	e.tr = tr
+	e.cScheduled = tr.Metrics().Counter("sim.events_scheduled")
+	e.cFired = tr.Metrics().Counter("sim.events_fired")
+	e.cCancelSkips = tr.Metrics().Counter("sim.cancelled_skips")
 }
 
 // New returns a ready Engine with the clock at 0.
@@ -98,6 +121,7 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	e.seq++
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	heap.Push(&e.pq, ev)
+	e.cScheduled.Inc()
 	return ev
 }
 
@@ -112,6 +136,7 @@ func (e *Engine) Step() bool {
 	for e.pq.Len() > 0 {
 		ev := heap.Pop(&e.pq).(*Event)
 		if ev.fn == nil {
+			e.cCancelSkips.Inc()
 			continue
 		}
 		e.now = ev.at
@@ -120,6 +145,12 @@ func (e *Engine) Step() bool {
 		e.fired++
 		if e.maxEvt > 0 && e.fired > e.maxEvt {
 			panic("sim: event limit exceeded")
+		}
+		if e.tr != nil {
+			e.cFired.Inc()
+			if e.fired%queueDepthEvery == 0 {
+				e.tr.Sample("sim", "queue_depth", float64(e.Pending()))
+			}
 		}
 		fn()
 		return true

@@ -1,0 +1,48 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"csi/internal/netem"
+	"csi/internal/obs"
+	"csi/internal/packet"
+	"csi/internal/sim"
+)
+
+// benchTransfer runs one handshake + 500 KB server->client transfer over a
+// lossy 8 Mbit/s link per iteration, with the given tracer on the
+// connection. The loss forces retransmission/recovery paths, so the Off/On
+// pair covers every obs hook in the segment-delivery code, not just the
+// happy path.
+func benchTransfer(b *testing.B, mkTracer func() *obs.Tracer) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		eng.SetEventLimit(5_000_000)
+		up := netem.NewLink(eng, netem.LinkConfig{Trace: netem.Constant(50_000_000), Delay: 0.02},
+			func(p *packet.Packet) { p.Arrive(eng.Now()) })
+		down := netem.NewLink(eng, netem.LinkConfig{
+			Trace: netem.Constant(8_000_000), Delay: 0.02,
+			LossProb: 0.01, Seed: 11, QueueCap: 1 << 20,
+		}, func(p *packet.Packet) { p.Arrive(eng.Now()) })
+		conn := NewConn(eng, Config{ConnID: 1, Obs: mkTracer()}, up, down)
+		done := false
+		conn.Start(func(now float64) {
+			conn.Client.Write(400, func(now float64) {
+				conn.Server.Write(500_000, func(now float64) { done = true })
+			})
+		})
+		eng.Run()
+		if !done {
+			b.Fatal("transfer incomplete")
+		}
+	}
+}
+
+func BenchmarkTransferObsOff(b *testing.B) {
+	benchTransfer(b, func() *obs.Tracer { return nil })
+}
+
+func BenchmarkTransferObsOn(b *testing.B) {
+	benchTransfer(b, func() *obs.Tracer { return obs.New(nil, obs.NewCollector()) })
+}

@@ -17,6 +17,7 @@ package tcpsim
 
 import (
 	"csi/internal/ivl"
+	"csi/internal/obs"
 	"csi/internal/packet"
 	"csi/internal/sim"
 )
@@ -28,6 +29,7 @@ type Config struct {
 	MSS      int64   // max segment payload; default 1400
 	InitCwnd int64   // initial congestion window in bytes; default 10*MSS
 	RTOMin   float64 // minimum retransmission timeout; default 0.2 s
+	Obs      *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +104,14 @@ type Endpoint struct {
 	SentData      int64
 	SentAcks      int64
 	DeliveredByte int64
+
+	// Observability (all handles nil-safe).
+	tr            *obs.Tracer
+	cSegments     *obs.Counter
+	cRetransmits  *obs.Counter
+	cTimeouts     *obs.Counter
+	cFastRetx     *obs.Counter
+	lastCwndTrace float64
 }
 
 // Conn is a full-duplex TCP connection between a client and a server
@@ -126,7 +136,7 @@ func NewConn(eng *sim.Engine, cfg Config, up, down packet.Sender) *Conn {
 }
 
 func newEndpoint(eng *sim.Engine, cfg Config, out packet.Sender, dir packet.Dir) *Endpoint {
-	return &Endpoint{
+	ep := &Endpoint{
 		eng:      eng,
 		cfg:      cfg,
 		out:      out,
@@ -135,6 +145,44 @@ func newEndpoint(eng *sim.Engine, cfg Config, out packet.Sender, dir packet.Dir)
 		ssthresh: 1 << 30,
 		rto:      1.0,
 	}
+	// Only the server endpoint of a connection carries the download-heavy
+	// direction the paper cares about; instrumenting both lanes doubles the
+	// record volume for no inference signal, so only Down endpoints trace.
+	if dir == packet.Down {
+		ep.tr = cfg.Obs
+		reg := cfg.Obs.Metrics()
+		ep.cSegments = reg.Counter("tcp.segments_sent")
+		ep.cRetransmits = reg.Counter("tcp.retransmits")
+		ep.cTimeouts = reg.Counter("tcp.timeouts")
+		ep.cFastRetx = reg.Counter("tcp.fast_retx")
+	}
+	return ep
+}
+
+// Obs returns the tracer attached to this endpoint (nil when tracing is
+// off or the endpoint is on the untraced direction). The TLS layer uses it
+// to stamp record-framing events.
+func (ep *Endpoint) Obs() *obs.Tracer { return ep.tr }
+
+// ConnID returns the connection id the endpoint belongs to.
+func (ep *Endpoint) ConnID() int { return ep.cfg.ConnID }
+
+// traceCwnd samples the congestion-window trajectory, suppressing samples
+// until the window has moved at least one MSS since the last one so constant
+// windows do not flood the trace.
+func (ep *Endpoint) traceCwnd() {
+	if ep.tr == nil {
+		return
+	}
+	d := ep.cwnd - ep.lastCwndTrace
+	if d < 0 {
+		d = -d
+	}
+	if d < float64(ep.cfg.MSS) {
+		return
+	}
+	ep.lastCwndTrace = ep.cwnd
+	ep.tr.Sample("tcp", "cwnd_bytes", ep.cwnd)
 }
 
 // DeliverToClient returns the function the downlink should invoke on packet
@@ -272,9 +320,11 @@ func (ep *Endpoint) trySend() {
 
 func (ep *Endpoint) sendSegment(seq, n int64, rtx bool) {
 	ep.SentData++
+	ep.cSegments.Inc()
 	ep.lastSend = ep.eng.Now()
 	if rtx {
 		ep.Retransmits++
+		ep.cRetransmits.Inc()
 		// Karn's rule: never sample RTT from ranges touched by a
 		// retransmission.
 		for i := range ep.timing {
@@ -329,9 +379,17 @@ func (ep *Endpoint) onRTO() {
 		return // nothing outstanding
 	}
 	ep.Timeouts++
+	ep.cTimeouts.Inc()
 	inFlight := ep.sndNxt - ep.sndUna
 	ep.ssthresh = float64(max64(inFlight/2, 2*ep.cfg.MSS))
 	ep.cwnd = float64(ep.cfg.MSS)
+	if ep.tr != nil {
+		ep.tr.Event("tcp", "rto",
+			obs.Int("conn", int64(ep.cfg.ConnID)),
+			obs.Float("rto", ep.rto),
+			obs.Int("in_flight", inFlight))
+		ep.traceCwnd()
+	}
 	ep.inRecovery = false
 	// Forget scoreboard plans; rebuild from fresh SACK information.
 	ep.rtxQueue = nil
@@ -423,6 +481,7 @@ func (ep *Endpoint) onAck(ack int64, sack [][2]int64) {
 				ep.rtxQueueBytes += sub[1] - sub[0]
 				newHole = true
 				ep.FastRetx++
+				ep.cFastRetx.Inc()
 			}
 		}
 	}
@@ -431,6 +490,11 @@ func (ep *Endpoint) onAck(ack int64, sack [][2]int64) {
 		ep.recoverPoint = ep.sndNxt
 		ep.ssthresh = float64(max64(int64(ep.cwnd/2), 2*ep.cfg.MSS))
 		ep.cwnd = ep.ssthresh
+		if ep.tr != nil {
+			ep.tr.Event("tcp", "fast_retx",
+				obs.Int("conn", int64(ep.cfg.ConnID)),
+				obs.Float("cwnd", ep.cwnd))
+		}
 	}
 
 	// Window growth outside recovery.
@@ -450,6 +514,7 @@ func (ep *Endpoint) onAck(ack int64, sack [][2]int64) {
 
 	if newlyAcked > 0 {
 		ep.rto = ep.computeRTO()
+		ep.traceCwnd()
 	}
 	if ep.sndUna < ep.sndNxt {
 		if newlyAcked > 0 {

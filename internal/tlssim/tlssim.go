@@ -13,6 +13,7 @@ package tlssim
 import (
 	"sort"
 
+	"csi/internal/obs"
 	"csi/internal/tcpsim"
 )
 
@@ -79,7 +80,8 @@ func (s *Stream) Write(n int64, kind Kind, onDelivered func(now float64)) {
 	if n <= 0 {
 		panic("tlssim: Write of non-positive length")
 	}
-	var total int64
+	payload := n
+	var total, records int64
 	for n > 0 {
 		rec := n
 		if rec > MaxRecordSize {
@@ -91,6 +93,19 @@ func (s *Stream) Write(n int64, kind Kind, onDelivered func(now float64)) {
 			segment{start: s.off + RecordHeader, end: s.off + RecordHeader + rec + AEADTag, kind: kind})
 		s.off += RecordHeader + rec + AEADTag
 		total += RecordHeader + rec + AEADTag
+		records++
+	}
+	if tr := s.ep.Obs(); tr != nil {
+		kindStr := "hs"
+		if kind == AppData {
+			kindStr = "app"
+		}
+		tr.Event("tls", "records_framed",
+			obs.Int("conn", int64(s.ep.ConnID())),
+			obs.Str("kind", kindStr),
+			obs.Int("payload", payload),
+			obs.Int("records", records),
+			obs.Int("wire", total))
 	}
 	s.ep.Write(total, onDelivered)
 }

@@ -1,0 +1,129 @@
+package csi_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/obs"
+	"csi/internal/session"
+)
+
+var updateObsGolden = flag.Bool("update", false, "rewrite the testdata/obs golden files")
+
+// The obs determinism contract: a fixed-seed single-threaded run produces
+// byte-identical trace and metrics exports, run after run. This test pins
+// both halves of the pipeline — a streamed SH session (virtual-time clock)
+// and the inference over its capture (StepClock ordinal timeline) — against
+// committed goldens, and additionally re-executes each half to prove
+// run-to-run identity independent of the golden files.
+
+func goldenManifest(t *testing.T) *media.Manifest {
+	t.Helper()
+	man, err := media.Encode(media.EncodeConfig{
+		Name: "golden", Seed: 7, DurationSec: 300, ChunkDur: 5,
+		TargetPASR: 1.5, AudioTracks: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return man
+}
+
+// goldenSession streams the fixture with a fresh collector and returns the
+// Chrome trace document, the metrics dump, and the session result.
+func goldenSession(t *testing.T, man *media.Manifest) ([]byte, []byte, *session.Result) {
+	t.Helper()
+	sink := obs.NewCollector()
+	tr := obs.New(nil, sink)
+	res, err := session.Run(session.Config{
+		Design: session.SH, Manifest: man,
+		Bandwidth: netem.Constant(4_000_000),
+		Duration:  90, Seed: 7,
+		Obs: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace, metrics bytes.Buffer
+	if err := obs.WriteChromeTrace(&trace, sink.Records(), obs.ChromeTraceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Metrics().WriteText(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return trace.Bytes(), metrics.Bytes(), res
+}
+
+// goldenInfer runs CSI inference over the captured run with a fresh tracer
+// and returns the JSONL event log and metrics dump.
+func goldenInfer(t *testing.T, man *media.Manifest, res *session.Result) ([]byte, []byte) {
+	t.Helper()
+	sink := obs.NewCollector()
+	p := core.Params{MediaHost: man.Host, Obs: obs.New(nil, sink)}
+	if _, err := core.Infer(man, res.Run.Trace, p); err != nil {
+		t.Fatal(err)
+	}
+	var trace, metrics bytes.Buffer
+	if err := obs.WriteJSONEvents(&trace, sink.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Obs.Metrics().WriteText(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return trace.Bytes(), metrics.Bytes()
+}
+
+func checkObsGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "obs", name)
+	if *updateObsGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from committed golden (%d vs %d bytes); if the change is intended, re-run with -update", name, len(got), len(want))
+	}
+}
+
+func TestObsGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams a 90-second session twice")
+	}
+	man := goldenManifest(t)
+
+	trace1, metrics1, res := goldenSession(t, man)
+	trace2, metrics2, _ := goldenSession(t, man)
+	if !bytes.Equal(trace1, trace2) {
+		t.Error("same-seed session runs produced different Chrome traces")
+	}
+	if !bytes.Equal(metrics1, metrics2) {
+		t.Error("same-seed session runs produced different metrics dumps")
+	}
+	checkObsGolden(t, "session.trace.json", trace1)
+	checkObsGolden(t, "session.metrics.txt", metrics1)
+
+	infTrace1, infMetrics1 := goldenInfer(t, man, res)
+	infTrace2, infMetrics2 := goldenInfer(t, man, res)
+	if !bytes.Equal(infTrace1, infTrace2) {
+		t.Error("repeated inference produced different event logs")
+	}
+	if !bytes.Equal(infMetrics1, infMetrics2) {
+		t.Error("repeated inference produced different metrics dumps")
+	}
+	checkObsGolden(t, "infer.trace.jsonl", infTrace1)
+	checkObsGolden(t, "infer.metrics.txt", infMetrics1)
+}

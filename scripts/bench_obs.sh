@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the observability-overhead benchmark pairs (nil tracer vs live
+# collector at every instrumented layer) and records the results as
+# BENCH_obs.json at the module root. The Off variants must track their
+# uninstrumented baselines within noise — that is the obs cost contract.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_obs.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# Layer pairs: engine dispatch, TCP segment delivery, obs micro-costs,
+# inference candidate search (the root-package pair reuses the 10-minute
+# fixture, so it dominates the runtime of this script).
+go test -run='^$' -bench='Obs(Off|On)$' -benchmem ./internal/sim/ ./internal/tcpsim/ | tee "$tmp"
+go test -run='^$' -bench='^Benchmark(Nil|Live)' -benchmem ./internal/obs/ | tee -a "$tmp"
+go test -run='^$' -bench='^BenchmarkInferObs(Off|On)$' -benchmem . | tee -a "$tmp"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bytes, allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+echo "wrote $out"

@@ -6,6 +6,8 @@
 #   2. go vet ./...              stock vet
 #   3. go run ./cmd/csi-vet ./.. repo-specific determinism/correctness rules
 #   4. go test -race ./...       full test suite under the race detector
+#   5. traced quickstart         csi-run + csi-analyze with -trace-out/-metrics,
+#                                diffed byte-for-byte against testdata/obs/
 #
 # Any failure aborts the gate. Run from anywhere inside the repository.
 set -eu
@@ -23,5 +25,26 @@ go run ./cmd/csi-vet ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== traced quickstart vs committed obs goldens"
+# The same fixed-seed pipeline the TestObsGoldenDeterminism fixture runs,
+# but through the real binaries: encode -> stream -> infer, with tracing
+# on. Byte-identity against testdata/obs/ proves the CLI wiring, the JSON
+# round-trips, and the obs determinism contract end to end. Regenerate the
+# goldens with `go test -run TestObsGoldenDeterminism -update .` after an
+# intended change.
+obstmp=$(mktemp -d)
+trap 'rm -rf "$obstmp"' EXIT
+go run ./cmd/csi-encode -pasr 1.5 -duration 300 -audio -seed 7 -name golden -o "$obstmp/man.json" > /dev/null
+go run ./cmd/csi-run -manifest "$obstmp/man.json" -design SH -bandwidth 4 -duration 90 -seed 7 \
+    -o "$obstmp/run.json" -trace-out "$obstmp/run.trace.json" -metrics "$obstmp/run.metrics.txt" > /dev/null
+cmp "$obstmp/run.trace.json" testdata/obs/session.trace.json
+cmp "$obstmp/run.metrics.txt" testdata/obs/session.metrics.txt
+go run ./cmd/csi-analyze -manifest "$obstmp/man.json" -run "$obstmp/run.json" \
+    -trace-out "$obstmp/infer.trace.jsonl" -metrics "$obstmp/infer.metrics.txt" > /dev/null
+cmp "$obstmp/infer.trace.jsonl" testdata/obs/infer.trace.jsonl
+cmp "$obstmp/infer.metrics.txt" testdata/obs/infer.metrics.txt
+# The JSONL event log must render as a timeline without error.
+go run ./cmd/csi-trace -timeline "$obstmp/infer.trace.jsonl" > /dev/null
 
 echo "check.sh: all gates passed"
