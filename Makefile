@@ -18,7 +18,9 @@ vet:
 race:
 	go test -race ./...
 
-# Observability-overhead pairs (nil tracer vs live collector); results land
-# in BENCH_obs.json.
+# Observability-overhead pairs (nil tracer vs live collector) land in
+# BENCH_obs.json; core candidate-search before/after pairs (parallel kernel
+# vs serial reference) land in BENCH_core.json.
 bench:
 	./scripts/bench_obs.sh
+	./scripts/bench_core.sh

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"csi/internal/capture"
@@ -35,6 +36,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print the full inferred sequence")
 		traceOut = flag.String("trace-out", "", "write an execution trace of the inference (.jsonl = JSONL events, else Chrome trace format)")
 		metrics  = flag.String("metrics", "", "write a text metrics dump to this path (\"-\" = stdout)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this path (go tool pprof)")
 	)
 	flag.Parse()
 	die := func(err error) {
@@ -43,6 +45,21 @@ func main() {
 	}
 	if *manifest == "" || *runPath == "" {
 		die(fmt.Errorf("-manifest and -run are required"))
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			die(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "csi-analyze:", err)
+			}
+		}()
 	}
 	man, err := media.LoadManifestFile(*manifest, *host)
 	if err != nil {

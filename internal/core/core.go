@@ -67,13 +67,18 @@ type Params struct {
 	// risks cutting a chunk's bytes across groups, so prefer the idle-gap
 	// split points.
 	MaxGroupRequests int
-	// GroupSearchBudget caps the enumeration work (combinations
-	// materialized by the per-group meet-in-the-middle search) per traffic
-	// group. Plausible hypotheses (balanced audio/video splits) are
-	// explored first; when the budget runs out the group's candidate set
-	// is truncated, which can under-count sequences for extremely
-	// ambiguous groups but never drops the early plausible candidates.
-	// Default 4e7.
+	// GroupSearchBudget caps the enumeration work per traffic group: the
+	// total number of compressed partial combinations materialized by the
+	// per-group meet-in-the-middle search. Each window half's enumeration
+	// cost is charged once, at its first committed use in the group's
+	// serial hypothesis order (cached halves reused by later windows are
+	// free), so the charge sequence — and therefore the truncation point —
+	// is deterministic regardless of worker scheduling. Plausible
+	// hypotheses (balanced audio/video splits) are explored first; the
+	// window whose charge crosses the budget is discarded, the group's
+	// candidate set is marked truncated, and the scan stops — which can
+	// under-count sequences for extremely ambiguous groups but never drops
+	// the early plausible candidates. Default 4e7.
 	GroupSearchBudget int64
 	// MinResponseHeaderBytes is a conservative lower bound on the HTTP
 	// response header size hidden inside the encrypted response. The

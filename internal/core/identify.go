@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"csi/internal/capture"
 	"csi/internal/media"
@@ -44,6 +45,11 @@ type noMuxGraph struct {
 	layers []layer
 	reqs   []Request
 
+	// byIndex[i] maps a chunk index to the positions of layer i's video
+	// candidates holding it (in layer order). Built once; shared by the DP
+	// predecessor lookups, the graph-edge metrics and extractSequence.
+	byIndex []map[int][]int
+
 	// DP instrumentation handles (nil-safe).
 	cExpand *obs.Counter
 	cPrune  *obs.Counter
@@ -76,25 +82,31 @@ func buildNoMuxGraph(man *media.Manifest, reqs []Request, p Params) *noMuxGraph 
 		}
 		g.layers[i] = layer{video: vc, audio: ac}
 	}
+	g.byIndex = make([]map[int][]int, len(g.layers))
+	for i := range g.layers {
+		m := make(map[int][]int)
+		for ci, c := range g.layers[i].video {
+			m[c.Index] = append(m[c.Index], ci)
+		}
+		g.byIndex[i] = m
+	}
 	g.cExpand = p.Obs.Metrics().Counter("core.dp_expansions")
 	g.cPrune = p.Obs.Metrics().Counter("core.dp_prunes")
 	if p.Obs.Enabled() {
 		hist := p.Obs.Metrics().Histogram("core.candidates_per_request",
 			[]float64{0, 1, 2, 4, 8, 16, 32, 64})
 		nodes, edges := 0, 0
-		prevByIndex := map[int]int{}
 		for i := range g.layers {
 			la := g.layers[i]
 			hist.Observe(float64(len(la.video) + len(la.audio)))
 			nodes += len(la.video) + len(la.audio)
 			// Contiguity edges: a candidate links to prior-layer candidates
 			// holding the preceding playback index.
-			byIndex := map[int]int{}
-			for _, c := range la.video {
-				edges += prevByIndex[c.Index-1]
-				byIndex[c.Index]++
+			if i > 0 {
+				for _, c := range la.video {
+					edges += len(g.byIndex[i-1][c.Index-1])
+				}
 			}
-			prevByIndex = byIndex
 		}
 		p.Obs.Metrics().Counter("core.graph_nodes").Add(int64(nodes))
 		p.Obs.Metrics().Counter("core.graph_edges").Add(int64(edges))
@@ -104,6 +116,22 @@ func buildNoMuxGraph(man *media.Manifest, reqs []Request, p Params) *noMuxGraph 
 			obs.Int("edges", int64(edges)))
 	}
 	return g
+}
+
+// satRatio divides two prefix products of audio option counts, saturating
+// explicitly instead of producing NaN. On very long sessions the running
+// product prefCnt can overflow float64 to +Inf (thousands of multi-option
+// audio requests); the ratio of two saturated prefixes is then Inf/Inf =
+// NaN, which would poison every downstream count. The denominator is always
+// a factor of the numerator (both are prefix products of per-request option
+// counts >= 1), so when the numerator saturates the true ratio is "too many
+// to represent": report +Inf. Sequence counts therefore saturate to +Inf on
+// overflow and never degrade to NaN.
+func satRatio(num, den float64) float64 {
+	if math.IsInf(num, 1) {
+		return math.Inf(1)
+	}
+	return num / den
 }
 
 // dpVals carries the per-node DP state: number of distinct sequences ending
@@ -152,19 +180,8 @@ func (g *noMuxGraph) runDP(
 		prefMax[i+1] = prefMax[i] + audioMaxW[i]
 		prefCnt[i+1] = prefCnt[i] * audioOpts[i]
 	}
-	// lastHardVideo[i]: the largest j < i that is NOT audio-capable (so a
-	// path cannot skip past it); transitions into layer i may only come
-	// from j in [lastHardVideo(i), i-1].
-	// For each layer, map candidate index values for O(1) predecessor
-	// lookups by chunk index.
-	byIndex := make([]map[int][]int, n)
-	for i := range byIndex {
-		m := make(map[int][]int)
-		for ci, c := range g.layers[i].video {
-			m[c.Index] = append(m[c.Index], ci)
-		}
-		byIndex[i] = m
-	}
+	// Predecessor lookups by chunk index use the shared g.byIndex maps
+	// built once in buildNoMuxGraph.
 
 	merge := func(v *dpVals, cnt, best, worst float64) {
 		if !v.ok {
@@ -199,8 +216,8 @@ func (g *noMuxGraph) runDP(
 				// Aggregate audio weights over the skipped run.
 				skMin := prefMin[i] - prefMin[j+1]
 				skMax := prefMax[i] - prefMax[j+1]
-				skCnt := prefCnt[i] / prefCnt[j+1]
-				for _, pj := range byIndex[j][c.Index-1] {
+				skCnt := satRatio(prefCnt[i], prefCnt[j+1])
+				for _, pj := range g.byIndex[j][c.Index-1] {
 					pv := vals[j][pj]
 					if !pv.ok {
 						continue
@@ -370,14 +387,17 @@ func (g *noMuxGraph) extractSequence(vals [][]dpVals) *Sequence {
 	for {
 		c := g.layers[i].video[ci]
 		seq.Assignments[i] = Assignment{Ref: c}
-		// Find a predecessor.
+		// Find a predecessor via the shared byIndex maps: O(1) per layer
+		// instead of rescanning every candidate. byIndex slices preserve
+		// layer order, so the first reachable hit is the same candidate the
+		// old linear scan picked.
 		found := false
 		for j := i - 1; j >= 0 && !found; j-- {
 			if j < i-1 && !audioOK(j+1) {
 				break
 			}
-			for pj, pc := range g.layers[j].video {
-				if pc.Index == c.Index-1 && vals[j][pj].ok {
+			for _, pj := range g.byIndex[j][c.Index-1] {
+				if vals[j][pj].ok {
 					for k := j + 1; k < i; k++ {
 						seq.Assignments[k] = skipAssign(k)
 					}

@@ -44,6 +44,10 @@ type muxGraph struct {
 	cands     [][]groupCand
 	nReqUsed  []int // requests assumed per group (may be reduced for phantoms)
 	truncated bool
+	// search is the shared candidate-search kernel (muxsearch.go): prefix
+	// sums, the half-enumeration cache and the worker pool. The eval pass
+	// derives a truth-weighted view from it so cached halves are reused.
+	search *muxSearch
 }
 
 const lastVNone = math.MinInt32
@@ -91,7 +95,7 @@ type truthCtx struct {
 
 func buildMuxGraph(man *media.Manifest, est *Estimation, p Params, tc *truthCtx) (*muxGraph, error) {
 	g := &muxGraph{man: man, params: p, groups: est.Groups}
-	disp := displayConstraint(p.Display)
+	g.search = newMuxSearch(man, p, tc)
 
 	// Forward start propagation: a group's video run must start right
 	// after the previous group's last video index (Property 2), so only a
@@ -108,12 +112,12 @@ func buildMuxGraph(man *media.Manifest, est *Estimation, p Params, tc *truthCtx)
 			}
 		}
 		nReq := len(grp.ReqTimes)
-		cands, truncated := groupCandidates(man, grp, nReq, p, disp, tc, gi, wildcard, admissible)
+		cands, truncated := g.search.groupCandidates(grp, nReq, gi, wildcard, admissible)
 		// Fallback for phantom requests: retransmitted QUIC request
 		// packets look like extra requests (new packet numbers); retry
 		// assuming one, then two, of them were phantoms.
 		for drop := 1; len(cands) == 0 && nReq > drop && drop <= 2; drop++ {
-			cands, truncated = groupCandidates(man, grp, len(grp.ReqTimes)-drop, p, disp, tc, gi, wildcard, admissible)
+			cands, truncated = g.search.groupCandidates(grp, len(grp.ReqTimes)-drop, gi, wildcard, admissible)
 			nReq = len(grp.ReqTimes) - drop
 		}
 		if truncated {
@@ -158,125 +162,6 @@ func buildMuxGraph(man *media.Manifest, est *Estimation, p Params, tc *truthCtx)
 	return g, nil
 }
 
-// groupCandidates enumerates collapsed hypotheses for one group.
-func groupCandidates(man *media.Manifest, grp Group, nReq int, p Params, disp map[int]int, tc *truthCtx, gi int, wildcard bool, admissible map[int]bool) ([]groupCand, bool) {
-	sumLo, sumHi := media.CandidateRange(grp.Est, p.K)
-	vTracks := man.VideoTracks()
-	nChunks := man.NumVideoChunks()
-	truncated := false
-	var out []groupCand
-
-	allowed := func(idx int) []int {
-		if disp != nil {
-			if tr, ok := disp[idx]; ok {
-				return []int{tr}
-			}
-		}
-		return vTracks
-	}
-	// wantTrack(s, pos) returns the ground-truth track of chunk index
-	// s+pos if this group really downloaded that index, else -1.
-	wantTrack := func(s, pos int) int {
-		if tc == nil {
-			return -1
-		}
-		if tr, ok := tc.videoTrack[gi][s+pos]; ok {
-			return tr
-		}
-		return -1
-	}
-
-	audioChoices := []struct {
-		track int
-		size  int64
-	}{{track: -1}}
-	for _, ai := range man.AudioTracks() {
-		audioChoices = append(audioChoices, struct {
-			track int
-			size  int64
-		}{ai, man.Tracks[ai].Sizes[0]})
-	}
-
-	// Audio/video request counts are typically balanced (both pipelines
-	// advance one chunk per playback interval): explore aCount values near
-	// nReq/2 first — ACROSS audio-track choices — so plausible hypotheses
-	// are generated before the enumeration budget runs out on implausible
-	// ones (the all-video aCount=0 case has the largest windows and must
-	// come last, not first).
-	aOrder := make([]int, 0, nReq+1)
-	for d := 0; d <= nReq; d++ {
-		if lo := nReq/2 - d; lo >= 0 {
-			aOrder = append(aOrder, lo)
-		}
-		if hi := nReq/2 + d; d > 0 && hi <= nReq {
-			aOrder = append(aOrder, hi)
-		}
-	}
-	budget := p.GroupSearchBudget
-	cWinCalls := p.Obs.Metrics().Counter("core.window_calls")
-	cWinRejects := p.Obs.Metrics().Counter("core.window_rejects")
-	cWinTrunc := p.Obs.Metrics().Counter("core.window_truncations")
-	for _, aCount := range aOrder {
-		for _, ac := range audioChoices {
-			if (ac.track < 0) != (aCount == 0) {
-				continue
-			}
-			vLen := nReq - aCount
-			audioBytes := int64(aCount) * ac.size
-			vLo, vHi := sumLo-audioBytes, sumHi-audioBytes
-			if vHi < 0 {
-				continue
-			}
-			// Audio score is assignment-independent.
-			audioW := 0.0
-			if tc != nil && aCount > 0 {
-				if have := tc.audioCount[gi][ac.track]; have > 0 {
-					audioW = float64(min(aCount, have))
-				}
-			}
-			if vLen == 0 {
-				if vLo <= 0 && 0 <= vHi {
-					out = append(out, groupCand{vStart: -1, aTrack: ac.track, aCount: aCount,
-						Count: 1, MaxW: audioW, MinW: audioW})
-				}
-				continue
-			}
-			for s := 0; s+vLen <= nChunks; s++ {
-				if !wildcard && !admissible[s] {
-					continue
-				}
-				if budget <= 0 {
-					truncated = true
-					cWinTrunc.Inc()
-					return out, truncated
-				}
-				cWinCalls.Inc()
-				cnt, maxW, minW, tr := windowStats(man, allowed, wantTrack, s, vLen, vLo, vHi, &budget)
-				truncated = truncated || tr
-				if tr {
-					cWinTrunc.Inc()
-				}
-				if cnt <= 0 {
-					cWinRejects.Inc()
-					continue
-				}
-				out = append(out, groupCand{
-					vStart: s, vLen: vLen, aTrack: ac.track, aCount: aCount,
-					Count: cnt, MaxW: maxW + audioW, MinW: minW + audioW,
-				})
-			}
-		}
-	}
-	return out, truncated
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // halfCombo is a compressed partial assignment of one window half: count
 // assignments share this (sum, matches) pair. Compression is what keeps the
 // search cheap — rate-controlled encodes repeat chunk sizes heavily, so the
@@ -286,152 +171,6 @@ type halfCombo struct {
 	sum     int64
 	matches int32
 	count   float64
-}
-
-// windowStats computes, for the vLen-chunk window at s, the number of track
-// assignments whose size sum lies in [vLo, vHi], and the max/min number of
-// ground-truth matches among them — via meet-in-the-middle over compressed
-// halves, without materializing assignments.
-func windowStats(man *media.Manifest, allowed func(int) []int, wantTrack func(s, pos int) int,
-	s, vLen int, vLo, vHi int64, budget *int64) (count, maxW, minW float64, truncated bool) {
-
-	// Quick reject via window min/max bounds.
-	var minSum, maxSum int64
-	for q := 0; q < vLen; q++ {
-		ts := allowed(s + q)
-		mn, mx := man.Tracks[ts[0]].Sizes[s+q], man.Tracks[ts[0]].Sizes[s+q]
-		for _, t := range ts[1:] {
-			sz := man.Tracks[t].Sizes[s+q]
-			if sz < mn {
-				mn = sz
-			}
-			if sz > mx {
-				mx = sz
-			}
-		}
-		minSum += mn
-		maxSum += mx
-	}
-	if minSum > vHi || maxSum < vLo {
-		return 0, 0, 0, false
-	}
-	// Skip windows whose half enumerations would exceed the cap before
-	// doing any work (the caller records the truncation).
-	halfCombosBound := 1.0
-	for q := 0; q < (vLen+1)/2; q++ {
-		halfCombosBound *= float64(len(allowed(s + q)))
-		if halfCombosBound > 2_000_000 {
-			return 0, 0, 0, true
-		}
-	}
-
-	enum := func(from, to int) []halfCombo {
-		res := []halfCombo{{count: 1}}
-		for q := from; q < to; q++ {
-			want := wantTrack(s, q)
-			ts := allowed(s + q)
-			next := make([]halfCombo, 0, len(res)*len(ts))
-			for _, c := range res {
-				for _, t := range ts {
-					m := c.matches
-					if t == want {
-						m++
-					}
-					next = append(next, halfCombo{sum: c.sum + man.Tracks[t].Sizes[s+q], matches: m, count: c.count})
-				}
-			}
-			res = next
-			*budget -= int64(len(res))
-			if len(res) > 2_000_000 || *budget <= 0 {
-				return nil
-			}
-		}
-		return res
-	}
-	// The left half is only iterated, never sorted; put the larger half
-	// there so the sort below runs on the smaller one.
-	mid := (vLen + 1) / 2
-	left := enum(0, mid)
-	right := enum(mid, vLen)
-	if left == nil || right == nil {
-		return 0, 0, 0, true
-	}
-	right = compressCombos(right)
-
-	// Bucket the right half by match count (tiny domain); each bucket is
-	// sum-sorted with prefix counts for O(log) range-count queries.
-	maxM := int32(vLen + 1)
-	type bucket struct {
-		sums []int64
-		pref []float64 // pref[i] = total count of sums[0..i)
-	}
-	buckets := make([]bucket, maxM+1)
-	anyMatches := false
-	// compressCombos sorts by (sum, matches), so per-bucket sums arrive in
-	// ascending order; accumulate counts into prefix sums directly.
-	for _, r := range right {
-		b := &buckets[r.matches]
-		b.sums = append(b.sums, r.sum)
-		total := r.count
-		if len(b.pref) > 0 {
-			total += b.pref[len(b.pref)-1]
-		}
-		b.pref = append(b.pref, total)
-		if r.matches > 0 {
-			anyMatches = true
-		}
-	}
-	countIn := func(b *bucket, lo, hi int64) float64 {
-		i := sort.Search(len(b.sums), func(i int) bool { return b.sums[i] >= lo })
-		j := sort.Search(len(b.sums), func(i int) bool { return b.sums[i] > hi })
-		if j <= i {
-			return 0
-		}
-		c := b.pref[j-1]
-		if i > 0 {
-			c -= b.pref[i-1]
-		}
-		return c
-	}
-
-	first := true
-	for _, l := range left {
-		lo, hi := vLo-l.sum, vHi-l.sum
-		if !anyMatches && l.matches == 0 {
-			// Fast path: only the count matters.
-			if n := countIn(&buckets[0], lo, hi); n > 0 {
-				count += n * l.count
-				first = false
-			}
-			continue
-		}
-		for m := int32(0); m <= maxM; m++ {
-			b := &buckets[m]
-			if len(b.sums) == 0 {
-				continue
-			}
-			// Counts are sums of positive combo counts, so "no combos in
-			// range" is exactly n <= 0; no equality on floats needed.
-			n := countIn(b, lo, hi)
-			if n <= 0 {
-				continue
-			}
-			count += n * l.count
-			w := float64(l.matches + m)
-			if first {
-				maxW, minW = w, w
-				first = false
-			} else {
-				if w > maxW {
-					maxW = w
-				}
-				if w < minW {
-					minW = w
-				}
-			}
-		}
-	}
-	return count, maxW, minW, false
 }
 
 // compressCombos sorts by (sum, matches) and merges equal pairs, adding
@@ -606,27 +345,14 @@ func (e *muxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64, 
 
 // withTruthWeights returns a copy of the graph whose candidates carry
 // ground-truth match weights, recomputing window statistics only for the
-// windows that actually matched during the build.
+// windows that actually matched during the build. The eval search shares
+// the build pass's half cache: halves untouched by ground truth (no truth
+// video index in range) hit the entries the build pass already computed.
 func (g *muxGraph) withTruthWeights(man *media.Manifest, p Params, tc *truthCtx) *muxGraph {
-	disp := displayConstraint(p.Display)
-	vTracks := man.VideoTracks()
-	allowed := func(idx int) []int {
-		if disp != nil {
-			if tr, ok := disp[idx]; ok {
-				return []int{tr}
-			}
-		}
-		return vTracks
-	}
+	es := g.search.withTruth(tc)
 	out := &muxGraph{man: g.man, params: g.params, groups: g.groups, nReqUsed: g.nReqUsed, truncated: g.truncated}
 	out.cands = make([][]groupCand, len(g.cands))
 	for gi := range g.cands {
-		wantTrack := func(s, pos int) int {
-			if tr, ok := tc.videoTrack[gi][s+pos]; ok {
-				return tr
-			}
-			return -1
-		}
 		out.cands[gi] = make([]groupCand, len(g.cands[gi]))
 		for ci, c := range g.cands[gi] {
 			nc := c
@@ -646,7 +372,7 @@ func (g *muxGraph) withTruthWeights(man *media.Manifest, p Params, tc *truthCtx)
 					vLo := sumLo - int64(c.aCount)*aSize
 					vHi := sumHi - int64(c.aCount)*aSize
 					evalBudget := g.params.GroupSearchBudget
-					_, maxW, minW, _ := windowStats(man, allowed, wantTrack, c.vStart, c.vLen, vLo, vHi, &evalBudget)
+					maxW, minW := es.evalWindow(gi, c.vStart, c.vLen, vLo, vHi, &evalBudget)
 					nc.MaxW = maxW + audioW
 					nc.MinW = minW + audioW
 				} else {

@@ -1,0 +1,87 @@
+package media
+
+// TrackPrefix precomputes prefix sums over the chunk sizes of a set of
+// tracks, plus the pointwise min/max envelope across those tracks. The mux
+// candidate search (§5.3.2 Step 2.2) uses it to bound the achievable size
+// sum of a chunk window in O(1) instead of rescanning O(window·tracks)
+// sizes per window start: the minimum achievable sum of a window is the sum
+// of the per-position minima (any mixed track assignment is bounded below
+// by it), which is a prefix difference over the min envelope; likewise for
+// the maximum.
+type TrackPrefix struct {
+	tracks []int
+	// per[i] is the prefix-sum array of tracks[i]: per[i][j] = sum of the
+	// first j chunk sizes. All arrays have length n+1.
+	per [][]int64
+	// slot maps a track id to its row in per (-1 when absent).
+	slot []int
+	// envMin/envMax are prefix sums of the pointwise min/max over tracks.
+	envMin, envMax []int64
+}
+
+// NewTrackPrefix builds prefix sums for the given tracks of the manifest.
+// All tracks must share a chunk count (the Validate invariant for tracks of
+// one media type).
+func NewTrackPrefix(m *Manifest, tracks []int) *TrackPrefix {
+	tp := &TrackPrefix{tracks: tracks, slot: make([]int, len(m.Tracks))}
+	for i := range tp.slot {
+		tp.slot[i] = -1
+	}
+	if len(tracks) == 0 {
+		return tp
+	}
+	n := m.Tracks[tracks[0]].NumChunks()
+	tp.per = make([][]int64, len(tracks))
+	tp.envMin = make([]int64, n+1)
+	tp.envMax = make([]int64, n+1)
+	for i, ti := range tracks {
+		tp.slot[ti] = i
+		pre := make([]int64, n+1)
+		for j, sz := range m.Tracks[ti].Sizes {
+			pre[j+1] = pre[j] + sz
+		}
+		tp.per[i] = pre
+	}
+	for j := 0; j < n; j++ {
+		mn, mx := m.Tracks[tracks[0]].Sizes[j], m.Tracks[tracks[0]].Sizes[j]
+		for _, ti := range tracks[1:] {
+			sz := m.Tracks[ti].Sizes[j]
+			if sz < mn {
+				mn = sz
+			}
+			if sz > mx {
+				mx = sz
+			}
+		}
+		tp.envMin[j+1] = tp.envMin[j] + mn
+		tp.envMax[j+1] = tp.envMax[j] + mx
+	}
+	return tp
+}
+
+// NumChunks returns the chunk count the prefix sums cover.
+func (tp *TrackPrefix) NumChunks() int {
+	if len(tp.envMin) == 0 {
+		return 0
+	}
+	return len(tp.envMin) - 1
+}
+
+// TrackSum returns the sum of track t's chunk sizes over indexes [lo, hi).
+// The track must be one of the tracks the prefix was built over.
+func (tp *TrackPrefix) TrackSum(t, lo, hi int) int64 {
+	pre := tp.per[tp.slot[t]]
+	return pre[hi] - pre[lo]
+}
+
+// EnvelopeBounds returns the minimum and maximum achievable size sum over
+// indexes [lo, hi) when each position may independently pick any of the
+// tracks: the prefix differences of the pointwise min/max envelopes.
+func (tp *TrackPrefix) EnvelopeBounds(lo, hi int) (minSum, maxSum int64) {
+	return tp.envMin[hi] - tp.envMin[lo], tp.envMax[hi] - tp.envMax[lo]
+}
+
+// EnvelopeAt returns the min and max size across the tracks at one index.
+func (tp *TrackPrefix) EnvelopeAt(i int) (minSz, maxSz int64) {
+	return tp.envMin[i+1] - tp.envMin[i], tp.envMax[i+1] - tp.envMax[i]
+}

@@ -1,0 +1,100 @@
+package media
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func prefixTestManifest(seed int64, tracks, chunks int) *Manifest {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Manifest{Name: "pfx", Host: "h", ChunkDur: 5}
+	for t := 0; t < tracks; t++ {
+		tr := Track{ID: t, Kind: Video, Bitrate: int64(100 * (t + 1))}
+		for c := 0; c < chunks; c++ {
+			tr.Sizes = append(tr.Sizes, int64(1000+rng.Intn(9000)))
+		}
+		m.Tracks = append(m.Tracks, tr)
+	}
+	return m
+}
+
+// TestTrackPrefixAgainstDirectSums cross-checks every TrackSum and
+// EnvelopeBounds query against direct summation.
+func TestTrackPrefixAgainstDirectSums(t *testing.T) {
+	man := prefixTestManifest(11, 4, 23)
+	tracks := man.VideoTracks()
+	tp := NewTrackPrefix(man, tracks)
+	if got := tp.NumChunks(); got != 23 {
+		t.Fatalf("NumChunks = %d, want 23", got)
+	}
+	for lo := 0; lo <= 23; lo++ {
+		for hi := lo; hi <= 23; hi++ {
+			var wantMin, wantMax int64
+			for j := lo; j < hi; j++ {
+				mn, mx := man.Tracks[tracks[0]].Sizes[j], man.Tracks[tracks[0]].Sizes[j]
+				for _, ti := range tracks[1:] {
+					sz := man.Tracks[ti].Sizes[j]
+					if sz < mn {
+						mn = sz
+					}
+					if sz > mx {
+						mx = sz
+					}
+				}
+				wantMin += mn
+				wantMax += mx
+			}
+			gotMin, gotMax := tp.EnvelopeBounds(lo, hi)
+			if gotMin != wantMin || gotMax != wantMax {
+				t.Fatalf("EnvelopeBounds(%d,%d) = (%d,%d), want (%d,%d)", lo, hi, gotMin, gotMax, wantMin, wantMax)
+			}
+			for _, ti := range tracks {
+				var want int64
+				for j := lo; j < hi; j++ {
+					want += man.Tracks[ti].Sizes[j]
+				}
+				if got := tp.TrackSum(ti, lo, hi); got != want {
+					t.Fatalf("TrackSum(%d,%d,%d) = %d, want %d", ti, lo, hi, got, want)
+				}
+			}
+		}
+	}
+	for j := 0; j < 23; j++ {
+		mn, mx := tp.EnvelopeAt(j)
+		wantMin, wantMax := tp.EnvelopeBounds(j, j+1)
+		if mn != wantMin || mx != wantMax {
+			t.Fatalf("EnvelopeAt(%d) = (%d,%d), want (%d,%d)", j, mn, mx, wantMin, wantMax)
+		}
+	}
+}
+
+// TestTrackPrefixSubset builds a prefix over a strict subset of tracks and
+// checks the envelope ignores the excluded track.
+func TestTrackPrefixSubset(t *testing.T) {
+	man := prefixTestManifest(7, 3, 10)
+	sub := []int{0, 2}
+	tp := NewTrackPrefix(man, sub)
+	for j := 0; j < 10; j++ {
+		a, b := man.Tracks[0].Sizes[j], man.Tracks[2].Sizes[j]
+		wantMin, wantMax := a, a
+		if b < wantMin {
+			wantMin = b
+		}
+		if b > wantMax {
+			wantMax = b
+		}
+		mn, mx := tp.EnvelopeAt(j)
+		if mn != wantMin || mx != wantMax {
+			t.Fatalf("EnvelopeAt(%d) = (%d,%d), want (%d,%d)", j, mn, mx, wantMin, wantMax)
+		}
+	}
+}
+
+// TestTrackPrefixEmpty checks the degenerate no-track case.
+func TestTrackPrefixEmpty(t *testing.T) {
+	man := prefixTestManifest(3, 2, 5)
+	tp := NewTrackPrefix(man, nil)
+	if tp.NumChunks() != 0 {
+		t.Fatalf("empty prefix NumChunks = %d, want 0", tp.NumChunks())
+	}
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the core mux candidate-search benchmark pairs (parallel kernel vs
+# the preserved serial reference on identical fixed-seed Table-3 fixtures)
+# and records the results as BENCH_core.json at the module root. The
+# non-Serial variants are the shipping implementation; the Serial variants
+# are the pre-kernel baseline, so each pair is a before/after measurement.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_core.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run='^$' -bench='^Benchmark(MuxCandidateSearch|WindowStats)(Serial)?$' \
+	-benchmem -benchtime=2s ./internal/core/ | tee "$tmp"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bytes, allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+echo "wrote $out"

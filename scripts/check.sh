@@ -26,6 +26,12 @@ go run ./cmd/csi-vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== core bench smoke (1 iteration)"
+# One iteration of each mux candidate-search benchmark so the perf harness
+# behind scripts/bench_core.sh cannot rot without failing the gate.
+go test -run='^$' -bench='^Benchmark(MuxCandidateSearch|WindowStats)(Serial)?$' \
+    -benchtime=1x ./internal/core > /dev/null
+
 echo "== traced quickstart vs committed obs goldens"
 # The same fixed-seed pipeline the TestObsGoldenDeterminism fixture runs,
 # but through the real binaries: encode -> stream -> infer, with tracing
