@@ -20,6 +20,7 @@ import (
 
 	"csi/internal/capture"
 	"csi/internal/core"
+	"csi/internal/faults"
 	"csi/internal/media"
 	"csi/internal/obs"
 	"csi/internal/pcap"
@@ -34,6 +35,8 @@ func main() {
 		display  = flag.Bool("display", false, "use displayed-chunk side information")
 		host     = flag.String("host", "", "media SNI host (default: manifest host)")
 		verbose  = flag.Bool("v", false, "print the full inferred sequence")
+		faultStr = flag.String("faults", "", "impair the loaded capture before analysis (e.g. \"loss=0.01,cross=2\"); also enables graceful degradation")
+		degrade  = flag.Bool("degrade", false, "tolerate impaired captures: degrade to a partial inference with warnings instead of failing")
 		traceOut = flag.String("trace-out", "", "write an execution trace of the inference (.jsonl = JSONL events, else Chrome trace format)")
 		metrics  = flag.String("metrics", "", "write a text metrics dump to this path (\"-\" = stdout)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this path (go tool pprof)")
@@ -69,7 +72,11 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	p := core.Params{MediaHost: *host, Mux: *mux}
+	fspec, err := faults.ParseSpec(*faultStr)
+	if err != nil {
+		die(err)
+	}
+	p := core.Params{MediaHost: *host, Mux: *mux, Degrade: *degrade || fspec.Enabled()}
 	if p.MediaHost == "" {
 		p.MediaHost = man.Host
 	}
@@ -80,6 +87,13 @@ func main() {
 	if *traceOut != "" || *metrics != "" {
 		sink = obs.NewCollector()
 		p.Obs = obs.New(nil, sink)
+	}
+	if fspec.Enabled() {
+		impaired, frep := faults.Apply(run, fspec, p.Obs)
+		run = impaired
+		fmt.Printf("faults [%s]: %d -> %d packets (%d window, %d loss, %d dup, %d clipped, %d cross)\n",
+			fspec, frep.Input, frep.Output,
+			frep.WindowDropped, frep.LossDropped, frep.Duplicated, frep.Clipped, frep.CrossPackets)
 	}
 	inf, err := core.Infer(man, run.Trace, p)
 	if *traceOut != "" {
@@ -104,6 +118,23 @@ func main() {
 	fmt.Printf("matching chunk sequences: %g\n", inf.SequenceCount)
 	if inf.Truncated {
 		fmt.Println("note: group search hit its enumeration budget; the count is a lower bound")
+	}
+	for _, w := range inf.Warnings {
+		fmt.Printf("warning [%s]: %s\n", w.Code, w.Detail)
+	}
+	if p.Degrade {
+		confs := inf.Confidences()
+		mean, min := 0.0, 1.0
+		for _, c := range confs {
+			mean += c
+			if c < min {
+				min = c
+			}
+		}
+		if len(confs) > 0 {
+			fmt.Printf("chunk confidence: mean %.2f, min %.2f over %d chunks\n",
+				mean/float64(len(confs)), min, len(confs))
+		}
 	}
 
 	if len(run.Truth) > 0 {
@@ -141,12 +172,15 @@ func main() {
 				}
 			}
 		}
-		rep, err := qoe.Analyze(chunks, qoe.Config{ChunkDur: man.ChunkDur})
+		rep, err := qoe.Analyze(chunks, qoe.Config{ChunkDur: man.ChunkDur, TolerateGaps: p.Degrade})
 		if err != nil {
 			die(err)
 		}
 		fmt.Printf("QoE (from inferred sequence): startup %.1fs, %d stalls (%.1fs), %.1f MB data\n",
 			rep.StartupDelay, len(rep.Stalls), rep.StallTime, float64(rep.DataBytes)/1e6)
+		if rep.Partial {
+			fmt.Printf("QoE is PARTIAL: %d chunks dropped across %d index gaps\n", rep.DroppedChunks, rep.IndexGaps)
+		}
 		fmt.Printf("track playback share:")
 		for _, ti := range man.VideoTracks() {
 			if s, ok := rep.TrackShare[ti]; ok && s > 0.001 {

@@ -100,6 +100,14 @@ func main() {
 			tab, err = experiments.Baseline(sc)
 		case "timing":
 			tab, err = experiments.Timing(sc)
+		case "faults":
+			// The degradation sweep is not part of "all": it replays every
+			// session once per impairment level, which multiplies runtime.
+			tab, err = experiments.FaultSweep(sc, nil)
+		case "faults-sh":
+			tab, err = experiments.FaultSweep(sc, nil, session.SH)
+		case "faults-sq":
+			tab, err = experiments.FaultSweep(sc, nil, session.SQ)
 		default:
 			fmt.Fprintln(os.Stderr, "csi-paper: unknown experiment", name)
 			os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"csi/internal/abr"
+	"csi/internal/faults"
 	"csi/internal/media"
 	"csi/internal/netem"
 	"csi/internal/obs"
@@ -38,6 +39,7 @@ func main() {
 		shBucket = flag.Int64("shape-bucket", 50_000, "token bucket size, bytes")
 		loss     = flag.Float64("loss", 0.005, "downlink radio loss probability")
 		seed     = flag.Int64("seed", 1, "run seed")
+		faultStr = flag.String("faults", "", "monitor-side capture impairments, e.g. \"loss=0.01,start=5,cross=2\" (see internal/faults)")
 		out      = flag.String("o", "run.json", "output run path (.bin selects the compact binary format)")
 		traceOut = flag.String("trace-out", "", "write an execution trace of the session (.jsonl = JSONL events, else Chrome trace format)")
 		metrics  = flag.String("metrics", "", "write a text metrics dump to this path (\"-\" = stdout)")
@@ -91,9 +93,20 @@ func main() {
 		sink = obs.NewCollector()
 		cfg.Obs = obs.New(nil, sink)
 	}
+	fspec, err := faults.ParseSpec(*faultStr)
+	if err != nil {
+		die(err)
+	}
 	res, err := session.Run(cfg)
 	if err != nil {
 		die(err)
+	}
+	if fspec.Enabled() {
+		impaired, frep := faults.Apply(res.Run, fspec, cfg.Obs)
+		res.Run = impaired
+		fmt.Fprintf(os.Stderr, "faults [%s]: %d -> %d packets (%d window, %d loss, %d dup, %d clipped, %d cross)\n",
+			fspec, frep.Input, frep.Output,
+			frep.WindowDropped, frep.LossDropped, frep.Duplicated, frep.Clipped, frep.CrossPackets)
 	}
 	if *traceOut != "" {
 		if err := obs.WriteTraceFile(*traceOut, sink.Records()); err != nil {

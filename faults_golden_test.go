@@ -1,0 +1,144 @@
+package csi_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csi/internal/capture"
+	"csi/internal/core"
+	"csi/internal/faults"
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/obs"
+	"csi/internal/session"
+)
+
+// The fault-injection determinism contract: the same seed and impairment
+// spec produce a byte-identical impaired capture, and the degraded
+// inference over it produces byte-identical trace and metrics exports. The
+// impaired run is pinned by content hash (it is megabytes of JSON), the
+// inference outputs as full goldens.
+
+func goldenFaultSpec(t *testing.T) faults.Spec {
+	t.Helper()
+	spec, err := faults.ParseSpec("loss=0.01,dup=0.005,cross=1,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// goldenFaultSession streams the golden fixture without session tracing —
+// the fault goldens only pin the impairment + inference half.
+func goldenFaultSession(t *testing.T, man *media.Manifest) *session.Result {
+	t.Helper()
+	res, err := session.Run(session.Config{
+		Design: session.SH, Manifest: man,
+		Bandwidth: netem.Constant(4_000_000),
+		Duration:  90, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// goldenFaultInfer impairs the run and infers it with degradation enabled,
+// sharing one tracer across both stages exactly like csi-analyze -faults.
+// It returns the impaired run JSON, the JSONL event log and the metrics.
+func goldenFaultInfer(t *testing.T, man *media.Manifest, run *capture.Run) (runJSON, trace, metrics []byte) {
+	t.Helper()
+	sink := obs.NewCollector()
+	tr := obs.New(nil, sink)
+	impaired, _ := faults.Apply(run, goldenFaultSpec(t), tr)
+	var buf bytes.Buffer
+	if err := impaired.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{MediaHost: man.Host, Degrade: true, Obs: tr}
+	if _, err := core.Infer(man, impaired.Trace, p); err != nil {
+		t.Fatalf("degraded inference must not fail: %v", err)
+	}
+	var tb, mb bytes.Buffer
+	if err := obs.WriteJSONEvents(&tb, sink.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Obs.Metrics().WriteText(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tb.Bytes(), mb.Bytes()
+}
+
+func TestFaultGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams a 90-second session")
+	}
+	man := goldenManifest(t)
+	res := goldenFaultSession(t, man)
+
+	run1, trace1, metrics1 := goldenFaultInfer(t, man, res.Run)
+	run2, trace2, metrics2 := goldenFaultInfer(t, man, res.Run)
+	if !bytes.Equal(run1, run2) {
+		t.Error("same seed+spec produced different impaired run bytes")
+	}
+	if !bytes.Equal(trace1, trace2) {
+		t.Error("same seed+spec produced different inference traces")
+	}
+	if !bytes.Equal(metrics1, metrics2) {
+		t.Error("same seed+spec produced different metrics dumps")
+	}
+
+	sum := sha256.Sum256(run1)
+	checkObsGolden(t, "fault.run.sha256", []byte(hex.EncodeToString(sum[:])+"\n"))
+	checkObsGolden(t, "fault.infer.trace.jsonl", trace1)
+	checkObsGolden(t, "fault.infer.metrics.txt", metrics1)
+}
+
+// Degrade on a pristine capture is a contract-level no-op: the inference
+// trace and metrics must be byte-identical to the clean goldens, proving
+// none of the repair or fallback paths fire without an actual impairment.
+func TestDegradeCleanGoldenInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams a 90-second session")
+	}
+	man := goldenManifest(t)
+	res := goldenFaultSession(t, man)
+
+	sink := obs.NewCollector()
+	p := core.Params{MediaHost: man.Host, Degrade: true, Obs: obs.New(nil, sink)}
+	inf, err := core.Infer(man, res.Run.Trace, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inf.Warnings) != 0 {
+		t.Errorf("clean capture produced warnings: %+v", inf.Warnings)
+	}
+	for _, c := range inf.Confidences() {
+		if c != 1 {
+			t.Fatalf("clean capture produced confidence %g, want 1", c)
+		}
+	}
+	var trace, metrics bytes.Buffer
+	if err := obs.WriteJSONEvents(&trace, sink.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Obs.Metrics().WriteText(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string][]byte{
+		"infer.trace.jsonl": trace.Bytes(),
+		"infer.metrics.txt": metrics.Bytes(),
+	} {
+		want, err := os.ReadFile(filepath.Join("testdata", "obs", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: Degrade changed the clean inference output (%d vs %d bytes)", name, len(got), len(want))
+		}
+	}
+}

@@ -243,7 +243,13 @@ func ReadBinary(rd io.Reader) (*Run, error) {
 	if n > 1<<31 {
 		return fail("packets", fmt.Errorf("implausible count %d", n))
 	}
-	t.Packets = make([]packet.View, 0, n)
+	// Grow from a bounded capacity rather than trusting the declared count:
+	// a corrupt header must not allocate gigabytes up front.
+	pre := n
+	if pre > 1<<16 {
+		pre = 1 << 16
+	}
+	t.Packets = make([]packet.View, 0, pre)
 	for i := uint64(0); i < n; i++ {
 		var v packet.View
 		flags, err := br.uvarint()

@@ -60,9 +60,7 @@ func (t *Trace) Tap() func(v packet.View, now float64) {
 // Step 1.1. Connections without an observed SNI fall back to the hostname
 // their server IP resolved to in captured DNS traffic.
 func (t *Trace) ConnIDs(hostSuffix string) []int {
-	match := func(host string) bool {
-		return host == hostSuffix || strings.HasSuffix(host, "."+hostSuffix) || strings.HasSuffix(host, hostSuffix)
-	}
+	match := func(host string) bool { return hostMatches(host, hostSuffix) }
 	seen := map[int]bool{}
 	var out []int
 	//csi-vet:ignore maporder -- out is sorted below before returning
@@ -84,6 +82,52 @@ func (t *Trace) ConnIDs(hostSuffix string) []int {
 		if host, ok := t.DNS[ip]; ok && match(host) {
 			out = append(out, id)
 		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// hostMatches reports whether host equals hostSuffix or is a subdomain of
+// it. The boundary dot is required: "notexample.com" must not match
+// "example.com".
+func hostMatches(host, hostSuffix string) bool {
+	return host == hostSuffix || strings.HasSuffix(host, "."+hostSuffix)
+}
+
+// FallbackConnIDs guesses the media connections when neither SNI nor DNS
+// identified any — e.g. the monitor attached mid-session and missed both
+// handshakes. It keeps every connection whose downlink byte total reaches
+// max(256 KB, 5% of the busiest connection), skipping connections whose
+// observed SNI names a different host. Returns ids sorted ascending; empty
+// when the trace has no plausible media flow.
+func (t *Trace) FallbackConnIDs(hostSuffix string) []int {
+	down := map[int]int64{}
+	for _, v := range t.Packets {
+		if v.Dir == packet.Down && v.ConnID > 0 {
+			down[v.ConnID] += v.Size
+		}
+	}
+	var top int64
+	//csi-vet:ignore maporder -- max reduction is order independent
+	for _, b := range down {
+		if b > top {
+			top = b
+		}
+	}
+	floor := int64(256 << 10)
+	if th := top / 20; th > floor {
+		floor = th
+	}
+	var out []int
+	//csi-vet:ignore maporder -- out is sorted below before returning
+	for id, b := range down {
+		if b < floor {
+			continue
+		}
+		if sni, ok := t.SNI[id]; ok && !hostMatches(sni, hostSuffix) {
+			continue
+		}
+		out = append(out, id)
 	}
 	sort.Ints(out)
 	return out

@@ -48,6 +48,44 @@ func TestConnIDsSuffixMatch(t *testing.T) {
 	}
 }
 
+func TestConnIDsRequiresDotBoundary(t *testing.T) {
+	tr := NewTrace()
+	tap := tr.Tap()
+	tap(packet.View{Dir: packet.Up, ConnID: 1, SNI: "notexample.com", Proto: packet.TCP}, 0.1)
+	tap(packet.View{Dir: packet.Up, ConnID: 2, SNI: "example.com", Proto: packet.TCP}, 0.2)
+	tap(packet.View{Dir: packet.Up, ConnID: 3, SNI: "cdn.example.com", Proto: packet.TCP}, 0.3)
+	ids := tr.ConnIDs("example.com")
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("ids = %v, want [2 3] (notexample.com must not match)", ids)
+	}
+}
+
+func TestFallbackConnIDsByVolume(t *testing.T) {
+	tr := NewTrace()
+	tap := tr.Tap()
+	// Media conn 3: large downlink volume, but its handshake (SNI) was
+	// missed and no DNS was seen.
+	for i := 0; i < 400; i++ {
+		tap(packet.View{Dir: packet.Down, ConnID: 3, Size: 1452, Proto: packet.TCP}, float64(i)*0.01)
+	}
+	// Decoy-sized conn 4: 120 KB, below the absolute floor.
+	for i := 0; i < 80; i++ {
+		tap(packet.View{Dir: packet.Down, ConnID: 4, Size: 1500, Proto: packet.TCP}, float64(i)*0.01)
+	}
+	// Conn 5 is big but its SNI names another host — must be excluded.
+	tap(packet.View{Dir: packet.Up, ConnID: 5, SNI: "tracker.example.org", Proto: packet.TCP}, 0)
+	for i := 0; i < 400; i++ {
+		tap(packet.View{Dir: packet.Down, ConnID: 5, Size: 1452, Proto: packet.TCP}, float64(i)*0.01)
+	}
+	if ids := tr.ConnIDs("media.example.com"); len(ids) != 0 {
+		t.Fatalf("SNI/DNS matching should find nothing, got %v", ids)
+	}
+	ids := tr.FallbackConnIDs("media.example.com")
+	if len(ids) != 1 || ids[0] != 3 {
+		t.Fatalf("fallback ids = %v, want [3]", ids)
+	}
+}
+
 func TestByConnPreservesOrder(t *testing.T) {
 	r := sampleRun()
 	m := r.Trace.ByConn()

@@ -1,0 +1,65 @@
+package capture
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The decoders feed on files from disk — a corrupted run must come back as
+// an error, never a panic or a half-initialized Run that crashes inference.
+
+func fuzzSeed(f *testing.F, write func(*Run, *bytes.Buffer) error) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := write(sampleRun(), &buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func checkDecoded(t *testing.T, run *Run, err error) {
+	t.Helper()
+	if err != nil {
+		if err.Error() == "" {
+			t.Fatal("empty error message")
+		}
+		return
+	}
+	if run == nil || run.Trace == nil {
+		t.Fatal("nil run/trace with nil error")
+	}
+	if run.Trace.SNI == nil || run.Trace.DNS == nil || run.Trace.ServerIP == nil {
+		t.Fatal("decoder returned nil trace maps")
+	}
+}
+
+func FuzzReadJSON(f *testing.F) {
+	valid := fuzzSeed(f, func(r *Run, b *bytes.Buffer) error { return r.WriteJSON(b) })
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"trace":{"packets":null,"sni":null}}`))
+	f.Add([]byte(`{"trace":{"packets":[{"time":1e308,"conn":-1}],"sni":{"1":"x"}},"truth":[{}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := ReadJSON(bytes.NewReader(data))
+		checkDecoded(t, run, err)
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	valid := fuzzSeed(f, func(r *Run, b *bytes.Buffer) error { return r.WriteBinary(b) })
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("CSIRUN"))
+	// Declared packet count far beyond the payload.
+	f.Add([]byte("CSIRUN\x01\x00\x00\x00\xff\xff\xff\xff\x0f"))
+	flipped := bytes.Clone(valid)
+	if len(flipped) > 8 {
+		flipped[8] ^= 0x80
+	}
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := ReadBinary(bytes.NewReader(data))
+		checkDecoded(t, run, err)
+	})
+}

@@ -101,6 +101,14 @@ type Params struct {
 	// SP1 idle-gap splits (ablation; §5.3.2 uses both).
 	DisableSP2 bool
 
+	// Degrade makes the pipeline yield a partial Inference with structured
+	// Warnings instead of a hard error when the capture is impaired: the
+	// SNI-less volume fallback for connection selection, the relaxed-K
+	// retry ladder when no sequence matches, and a zero-confidence result
+	// as the last resort. On a pristine capture none of these paths fire,
+	// so Degrade never changes the result of a clean inference.
+	Degrade bool
+
 	// Obs traces the inference pipeline: request detection, split-point
 	// decisions, graph construction and the sequence search. Inference runs
 	// post hoc (no virtual clock), so records are stamped with an ordinal
@@ -183,8 +191,46 @@ type Inference struct {
 	// alternatives may be missing from the candidate sets.
 	Truncated bool
 
+	// Warnings records every degradation the pipeline observed and worked
+	// around: monitor gaps repaired, SNI fallbacks taken, cross traffic
+	// filtered, relaxed error bounds. Empty on a clean capture.
+	Warnings []Warning
+
 	// internal handles for accuracy evaluation
 	eval evaluator
+}
+
+// Warning is one structured degradation notice. Code is a stable
+// machine-readable tag (e.g. "sni_missing", "sni_mismatch", "k_relaxed",
+// "cross_traffic", "request_gap", "no_match"); Detail is human-readable
+// context.
+type Warning struct {
+	Code   string `json:"code"`
+	Detail string `json:"detail"`
+}
+
+// Confidences returns one confidence value per request (no-MUX) or per
+// group (MUX), in [0,1]: 1 for a cleanly observed chunk, lower when part of
+// its bytes were reconstructed across a monitor gap.
+func (inf *Inference) Confidences() []float64 {
+	conf := func(c float64) float64 {
+		if c > 0 {
+			return c
+		}
+		return 1
+	}
+	if inf.Mux {
+		out := make([]float64, len(inf.Groups))
+		for i, g := range inf.Groups {
+			out[i] = conf(g.Confidence)
+		}
+		return out
+	}
+	out := make([]float64, len(inf.Requests))
+	for i, r := range inf.Requests {
+		out[i] = conf(r.Confidence)
+	}
+	return out
 }
 
 // Request is one detected chunk request with its estimated response size
@@ -194,6 +240,11 @@ type Request struct {
 	Conn     int     `json:"conn"`
 	Est      int64   `json:"est"`
 	LastData float64 `json:"last_data"` // download-completion estimate
+	// GapBytes counts estimated bytes reconstructed across monitor gaps
+	// (already included in Est); Confidence is set only for gap-repaired
+	// requests (zero means cleanly observed, i.e. full confidence).
+	GapBytes   int64   `json:"gap_bytes,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // Group is one traffic group between split points (SQ designs).
@@ -203,6 +254,10 @@ type Group struct {
 	ReqTimes []float64 `json:"req_times"`
 	Est      int64     `json:"est"` // total estimated bytes for the group
 	LastData float64   `json:"last_data"`
+	// GapBytes / Confidence mirror the Request fields: bytes reconstructed
+	// across monitor gaps, and the resulting confidence (zero = clean).
+	GapBytes   int64   `json:"gap_bytes,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // evaluator computes best/worst accuracy against ground truth without

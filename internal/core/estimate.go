@@ -16,25 +16,37 @@ type Estimation struct {
 	Mux      bool
 	Requests []Request // no-MUX: one per detected request, time-ordered
 	Groups   []Group   // MUX: one per traffic group
+	// Warnings collects the degradations Step 1 observed (carried into the
+	// Inference by Identify). Empty on a clean capture.
+	Warnings []Warning
 }
 
 // Estimate performs Step 1: SNI connection filtering, request detection and
 // chunk (or group) size estimation from the encrypted packet trace.
 func Estimate(tr *capture.Trace, p Params) (*Estimation, error) {
+	var warns []Warning
 	ids := tr.ConnIDs(p.MediaHost)
+	if len(ids) == 0 && p.Degrade {
+		// SNI and DNS both missing (e.g. the monitor attached after every
+		// handshake): fall back to selecting connections by volume.
+		if ids = tr.FallbackConnIDs(p.MediaHost); len(ids) > 0 {
+			warns = append(warns, Warning{Code: "sni_missing",
+				Detail: fmt.Sprintf("no SNI/DNS match for %q; selected %d connection(s) by downlink volume", p.MediaHost, len(ids))})
+		}
+	}
 	if len(ids) == 0 {
+		if p.Degrade {
+			warns = append(warns, Warning{Code: "no_connections",
+				Detail: fmt.Sprintf("no connections attributable to %q", p.MediaHost)})
+			emitWarnings(p, warns)
+			return &Estimation{Proto: packet.TCP, Mux: p.Mux, Warnings: warns}, nil
+		}
 		return nil, fmt.Errorf("core: no connections matching SNI %q", p.MediaHost)
 	}
 	byConn := tr.ByConn()
-	proto := packet.TCP
-	for _, id := range ids {
-		for _, v := range byConn[id] {
-			proto = v.Proto
-			break
-		}
-		break
-	}
-	p = p.withDefaults(proto)
+	p0 := p // pre-defaults copy: a fallback retry re-votes the protocol
+	protoOf, proto := protoVote(byConn, ids)
+	p = p0.withDefaults(proto)
 
 	span := p.Obs.Begin("core", "estimate",
 		obs.Int("conns", int64(len(ids))),
@@ -42,36 +54,35 @@ func Estimate(tr *capture.Trace, p Params) (*Estimation, error) {
 	defer span.End()
 
 	if p.Mux {
-		if proto != packet.UDP {
-			return nil, fmt.Errorf("core: Mux analysis requires QUIC traffic, got %v", proto)
-		}
-		if len(ids) != 1 {
-			return nil, fmt.Errorf("core: Mux analysis expects one media connection, got %d", len(ids))
-		}
-		groups, err := estimateMux(byConn[ids[0]], p)
-		if err != nil {
-			return nil, err
-		}
-		return &Estimation{Proto: proto, Mux: true, Groups: groups}, nil
+		return estimateMuxSession(tr, byConn, ids, protoOf, proto, p, warns)
 	}
 
-	var all []Request
-	for _, id := range ids {
-		var reqs []Request
-		var err error
-		switch proto {
-		case packet.TCP:
-			reqs, err = estimateHTTPSConn(byConn[id])
-		case packet.UDP:
-			reqs, err = estimateQUICConn(byConn[id], p)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: conn %d: %w", id, err)
-		}
-		all = append(all, reqs...)
+	all, err := estimateConns(byConn, ids, protoOf, p, &warns)
+	if err != nil {
+		return nil, err
 	}
-	sort.SliceStable(all, func(a, b int) bool { return all[a].Time < all[b].Time })
+	if len(all) == 0 && p.Degrade {
+		// The SNI-matched connections produced nothing usable — e.g. cross
+		// traffic carries the media SNI while the real media connection lost
+		// its handshake to the capture window. Retry with volume-selected
+		// connections not already tried.
+		if fids := excludeIDs(tr.FallbackConnIDs(p.MediaHost), ids); len(fids) > 0 {
+			warns = append(warns, Warning{Code: "sni_mismatch",
+				Detail: fmt.Sprintf("SNI-matched connections yielded no chunk requests; retrying %d connection(s) selected by downlink volume", len(fids))})
+			fProtoOf, fProto := protoVote(byConn, fids)
+			p = p0.withDefaults(fProto)
+			proto = fProto
+			if all, err = estimateConns(byConn, fids, fProtoOf, p, &warns); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if len(all) == 0 {
+		if p.Degrade {
+			warns = append(warns, Warning{Code: "no_requests", Detail: "no chunk requests detected"})
+			emitWarnings(p, warns)
+			return &Estimation{Proto: proto, Warnings: warns}, nil
+		}
 		return nil, fmt.Errorf("core: no chunk requests detected")
 	}
 	p.Obs.Metrics().Counter("core.requests_detected").Add(int64(len(all)))
@@ -86,14 +97,241 @@ func Estimate(tr *capture.Trace, p Params) (*Estimation, error) {
 			all[i].Est = 0
 		}
 	}
-	return &Estimation{Proto: proto, Requests: all}, nil
+	var gapReqs, gapBytes int64
+	for i := range all {
+		if all[i].GapBytes > 0 {
+			gapReqs++
+			gapBytes += all[i].GapBytes
+			all[i].Confidence = gapConfidence(all[i].Est, all[i].GapBytes)
+		}
+	}
+	if gapReqs > 0 {
+		p.Obs.Metrics().Counter("core.gap_repaired_requests").Add(gapReqs)
+		p.Obs.Metrics().Counter("core.gap_repaired_bytes").Add(gapBytes)
+		if p.Obs.Enabled() {
+			p.Obs.Event("core", "gap_repair",
+				obs.Int("requests", gapReqs), obs.Int("bytes", gapBytes))
+		}
+	}
+	emitWarnings(p, warns)
+	return &Estimation{Proto: proto, Requests: all, Warnings: warns}, nil
+}
+
+// protoVote determines each connection's protocol and the session protocol
+// (which picks the default error bound k): injected cross traffic can mix
+// TCP flows into a QUIC session's SNI match, so the session protocol is the
+// one carrying the most downlink bytes among the given connections.
+func protoVote(byConn map[int][]packet.View, ids []int) (map[int]packet.Proto, packet.Proto) {
+	protoOf := make(map[int]packet.Proto, len(ids))
+	proto := packet.TCP
+	var tcpBytes, udpBytes int64
+	for i, id := range ids {
+		pk := byConn[id]
+		if len(pk) == 0 {
+			continue
+		}
+		protoOf[id] = pk[0].Proto
+		if i == 0 {
+			proto = pk[0].Proto // single-conn/tie default
+		}
+		for _, v := range pk {
+			if v.Dir != packet.Down {
+				continue
+			}
+			b := v.Size
+			if b == 0 {
+				b = v.TCPPayload + v.QUICPayload // traces without wire sizes
+			}
+			if pk[0].Proto == packet.UDP {
+				udpBytes += b
+			} else {
+				tcpBytes += b
+			}
+		}
+	}
+	if udpBytes > tcpBytes {
+		proto = packet.UDP
+	} else if tcpBytes > udpBytes {
+		proto = packet.TCP
+	}
+	return protoOf, proto
+}
+
+// excludeIDs returns the ids in candidates that are not in tried.
+func excludeIDs(candidates, tried []int) []int {
+	seen := make(map[int]bool, len(tried))
+	for _, id := range tried {
+		seen[id] = true
+	}
+	var out []int
+	for _, id := range candidates {
+		if !seen[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// estimateConns runs request detection and size estimation over one set of
+// connections, filtering connections that look like cross traffic, and
+// returns the merged time-ordered requests.
+func estimateConns(byConn map[int][]packet.View, ids []int, protoOf map[int]packet.Proto, p Params, warns *[]Warning) ([]Request, error) {
+	var all []Request
+	for _, id := range ids {
+		var reqs []Request
+		var err error
+		switch protoOf[id] {
+		case packet.TCP:
+			g := scanTCPGaps(byConn[id])
+			if g.upMissing > 0 {
+				*warns = append(*warns, Warning{Code: "request_gap",
+					Detail: fmt.Sprintf("conn %d: %d uplink bytes lost by the monitor; requests may have merged", id, g.upMissing)})
+			}
+			reqs, err = estimateHTTPSConn(byConn[id], g)
+		case packet.UDP:
+			reqs, err = estimateQUICConn(byConn[id], p, scanQUICGaps(byConn[id]))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: conn %d: %w", id, err)
+		}
+		// Cross-traffic filter: a connection with several requests none of
+		// which could be a chunk (every estimate below the smallest
+		// plausible chunk) is another app talking to the same host — API
+		// polling, beacons — not media. Keeping it would inject noise
+		// requests into every candidate sequence.
+		if p.MinChunkBytes > 0 && len(reqs) >= 2 && allBelow(reqs, p.MinChunkBytes) {
+			*warns = append(*warns, Warning{Code: "cross_traffic",
+				Detail: fmt.Sprintf("conn %d: dropped %d sub-chunk requests as cross traffic", id, len(reqs))})
+			continue
+		}
+		all = append(all, reqs...)
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].Time < all[b].Time })
+	return all, nil
+}
+
+// estimateMuxSession handles the SQ path of Estimate: pick the one QUIC
+// media connection (tolerantly under Degrade) and group its traffic.
+func estimateMuxSession(tr *capture.Trace, byConn map[int][]packet.View, ids []int, protoOf map[int]packet.Proto, proto packet.Proto, p Params, warns []Warning) (*Estimation, error) {
+	mid := -1
+	if !p.Degrade {
+		if proto != packet.UDP {
+			return nil, fmt.Errorf("core: Mux analysis requires QUIC traffic, got %v", proto)
+		}
+		if len(ids) != 1 {
+			return nil, fmt.Errorf("core: Mux analysis expects one media connection, got %d", len(ids))
+		}
+		mid = ids[0]
+	} else {
+		// Cross traffic can add flows with the media SNI; the media
+		// connection is the QUIC one carrying the most downlink bytes.
+		busiestUDP := func(ids []int, of map[int]packet.Proto) (int, int) {
+			var best int64 = -1
+			id, n := -1, 0
+			for _, c := range ids {
+				if of[c] != packet.UDP {
+					continue
+				}
+				n++
+				var b int64
+				for _, v := range byConn[c] {
+					if v.Dir == packet.Down {
+						b += v.Size
+					}
+				}
+				if b > best {
+					best, id = b, c
+				}
+			}
+			return id, n
+		}
+		var nUDP int
+		mid, nUDP = busiestUDP(ids, protoOf)
+		if nUDP > 1 {
+			warns = append(warns, Warning{Code: "mux_multi_conn",
+				Detail: fmt.Sprintf("%d QUIC connections matched; analyzing the busiest (conn %d)", nUDP, mid)})
+		}
+		if mid < 0 {
+			// The SNI match holds no QUIC connection at all — e.g. TCP cross
+			// traffic carries the media SNI while the QUIC media connection
+			// lost its handshake to the capture window. Fall back to volume
+			// selection over the rest of the trace.
+			if fids := excludeIDs(tr.FallbackConnIDs(p.MediaHost), ids); len(fids) > 0 {
+				fProtoOf, _ := protoVote(byConn, fids)
+				if fid, _ := busiestUDP(fids, fProtoOf); fid >= 0 {
+					mid = fid
+					warns = append(warns, Warning{Code: "sni_mismatch",
+						Detail: fmt.Sprintf("SNI-matched connections hold no QUIC traffic; analyzing conn %d selected by downlink volume", mid)})
+				}
+			}
+		}
+		if mid < 0 {
+			warns = append(warns, Warning{Code: "mux_no_conn",
+				Detail: "no QUIC media connection found"})
+			emitWarnings(p, warns)
+			return &Estimation{Proto: proto, Mux: true, Warnings: warns}, nil
+		}
+	}
+	groups, err := estimateMux(byConn[mid], p, scanQUICGaps(byConn[mid]))
+	if err != nil {
+		if p.Degrade {
+			warns = append(warns, Warning{Code: "no_traffic_groups", Detail: err.Error()})
+			emitWarnings(p, warns)
+			return &Estimation{Proto: proto, Mux: true, Warnings: warns}, nil
+		}
+		return nil, err
+	}
+	emitWarnings(p, warns)
+	return &Estimation{Proto: proto, Mux: true, Groups: groups, Warnings: warns}, nil
+}
+
+func allBelow(reqs []Request, limit int64) bool {
+	for _, r := range reqs {
+		if r.Est >= limit {
+			return false
+		}
+	}
+	return true
+}
+
+// gapConfidence scores a repaired estimate: the fraction of its bytes that
+// were actually observed, clamped away from 0 and 1 so repaired chunks are
+// always distinguishable from clean ones.
+func gapConfidence(est, gap int64) float64 {
+	if est <= 0 || gap >= est {
+		return 0.05
+	}
+	c := float64(est-gap) / float64(est)
+	if c > 0.95 {
+		c = 0.95
+	}
+	if c < 0.05 {
+		c = 0.05
+	}
+	return c
+}
+
+// emitWarnings instruments degradation warnings. Counters are created only
+// when warnings exist so a clean run's metrics dump stays byte-identical.
+func emitWarnings(p Params, warns []Warning) {
+	if len(warns) == 0 {
+		return
+	}
+	p.Obs.Metrics().Counter("core.warnings").Add(int64(len(warns)))
+	if p.Obs.Enabled() {
+		for _, w := range warns {
+			p.Obs.Event("core", "warning", obs.Str("code", w.Code), obs.Str("detail", w.Detail))
+		}
+	}
 }
 
 // estimateHTTPSConn walks one HTTPS connection. Requests are uplink packets
 // carrying TLS application-data bytes; the response size is the sum of
 // downlink TLS application-data bytes between consecutive requests, with
-// TCP retransmissions removed by SEQ-range de-duplication (§3.2).
-func estimateHTTPSConn(pkts []packet.View) ([]Request, error) {
+// TCP retransmissions removed by SEQ-range de-duplication (§3.2). Monitor
+// holes found by the pre-scan are repaired at the first packet after each
+// hole, attributed to the request being answered at that moment.
+func estimateHTTPSConn(pkts []packet.View, gaps tcpGaps) ([]Request, error) {
 	var reqs []Request
 	var seen, seenUp ivl.Set
 	cur := -1
@@ -125,6 +363,13 @@ func estimateHTTPSConn(pkts []packet.View) ([]Request, error) {
 		if fresh == 0 {
 			continue // pure retransmission
 		}
+		if miss := gaps.downAt[v.TCPSeq]; miss > 0 {
+			// This packet starts right after a monitor hole: reconstruct
+			// the missing response bytes for the current chunk.
+			rep := int64(float64(miss)*gaps.appRatio + 0.5)
+			reqs[cur].Est += rep
+			reqs[cur].GapBytes += rep
+		}
 		app := v.TLSAppBytes
 		if fresh < v.TCPPayload {
 			// Partial overlap with a retransmitted range: count the
@@ -141,15 +386,21 @@ func estimateHTTPSConn(pkts []packet.View) ([]Request, error) {
 // (CQ): requests are uplink short-header packets larger than the ACK
 // threshold; response sizes sum the downlink short-header payloads, which
 // unavoidably include retransmitted data and control frames (§3.2).
-func estimateQUICConn(pkts []packet.View, p Params) ([]Request, error) {
+func estimateQUICConn(pkts []packet.View, p Params, gaps quicGaps) ([]Request, error) {
 	var reqs []Request
+	var seenDown, seenUp ivl.Set
 	cur := -1
 	for _, v := range pkts {
-		if v.QUICLong {
-			continue // handshake
-		}
 		if v.Dir == packet.Up {
+			if v.QUICLong {
+				continue // handshake
+			}
 			if v.QUICPayload > p.RequestMinQUICPayload {
+				// Monitor-duplicated request packets reuse their packet
+				// number: drop them like TCP SEQ-duplicates.
+				if seenUp.Add(v.QUICPN, v.QUICPN+1) == 0 {
+					continue
+				}
 				// Phantom filter: a "request" while the current response
 				// is still smaller than any chunk could be is a
 				// retransmitted request packet, not a new request.
@@ -160,6 +411,22 @@ func estimateQUICConn(pkts []packet.View, p Params) ([]Request, error) {
 				cur = len(reqs) - 1
 			}
 			continue
+		}
+		if seenDown.Add(v.QUICPN, v.QUICPN+1) == 0 {
+			continue // monitor duplicate
+		}
+		if cur >= 0 {
+			if miss := gaps.before[v.QUICPN]; miss > 0 {
+				// Packet numbers missing right before this one: the
+				// monitor dropped them. Reconstruct with the connection's
+				// mean payload.
+				rep := int64(float64(miss)*gaps.meanData + 0.5)
+				reqs[cur].Est += rep
+				reqs[cur].GapBytes += rep
+			}
+		}
+		if v.QUICLong {
+			continue // handshake
 		}
 		if cur < 0 {
 			continue
@@ -178,21 +445,39 @@ type ev struct {
 	t       float64
 	up      bool
 	payload int64
+	gap     int64 // payload bytes reconstructed across a monitor gap
 }
 
-func estimateMux(pkts []packet.View, p Params) ([]Group, error) {
+func estimateMux(pkts []packet.View, p Params, gaps quicGaps) ([]Group, error) {
 	var evs []ev
+	var seenDown, seenUp ivl.Set
 	for _, v := range pkts {
-		if v.QUICLong {
-			continue
-		}
 		if v.Dir == packet.Up {
+			if v.QUICLong {
+				continue
+			}
 			if v.QUICPayload > p.RequestMinQUICPayload {
+				if seenUp.Add(v.QUICPN, v.QUICPN+1) == 0 {
+					continue // monitor-duplicated request packet
+				}
 				evs = append(evs, ev{t: v.Time, up: true})
 			}
 			continue
 		}
-		evs = append(evs, ev{t: v.Time, up: false, payload: v.QUICPayload})
+		if seenDown.Add(v.QUICPN, v.QUICPN+1) == 0 {
+			continue // monitor duplicate
+		}
+		var rep int64
+		if miss := gaps.before[v.QUICPN]; miss > 0 {
+			rep = int64(float64(miss)*gaps.meanData + 0.5)
+		}
+		if v.QUICLong {
+			if rep > 0 {
+				evs = append(evs, ev{t: v.Time, payload: rep, gap: rep})
+			}
+			continue
+		}
+		evs = append(evs, ev{t: v.Time, up: false, payload: v.QUICPayload + rep, gap: rep})
 	}
 	if len(evs) == 0 {
 		return nil, fmt.Errorf("core: no media traffic on QUIC connection")
@@ -243,6 +528,7 @@ func estimateMux(pkts []packet.View, p Params) ([]Group, error) {
 		out = append(out, subdivide(g, evs, p)...)
 	}
 	var final []Group
+	var gapGroups, gapBytes int64
 	for _, g := range out {
 		if len(g.ReqTimes) == 0 {
 			continue // trailing pure-ACK noise
@@ -252,7 +538,20 @@ func estimateMux(pkts []packet.View, p Params) ([]Group, error) {
 		if g.Est < 0 {
 			g.Est = 0
 		}
+		if g.GapBytes > 0 {
+			g.Confidence = gapConfidence(g.Est, g.GapBytes)
+			gapGroups++
+			gapBytes += g.GapBytes
+		}
 		final = append(final, g)
+	}
+	if gapGroups > 0 {
+		p.Obs.Metrics().Counter("core.gap_repaired_groups").Add(gapGroups)
+		p.Obs.Metrics().Counter("core.gap_repaired_bytes").Add(gapBytes)
+		if p.Obs.Enabled() {
+			p.Obs.Event("core", "gap_repair",
+				obs.Int("groups", gapGroups), obs.Int("bytes", gapBytes))
+		}
 	}
 	if len(final) == 0 {
 		return nil, fmt.Errorf("core: no traffic groups with requests")
@@ -364,6 +663,7 @@ func materialize(gs groupSpan, evs []ev) Group {
 			g.ReqTimes = append(g.ReqTimes, e.t)
 		} else {
 			g.Est += e.payload
+			g.GapBytes += e.gap
 			g.LastData = e.t
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"csi/internal/capture"
 	"csi/internal/media"
@@ -13,10 +14,35 @@ import (
 // consistent with Property 1 (sizes) and Property 2 (contiguous indexes).
 func Identify(man *media.Manifest, est *Estimation, p Params) (*Inference, error) {
 	p = p.withDefaults(est.Proto)
+	if (est.Mux && len(est.Groups) == 0) || (!est.Mux && len(est.Requests) == 0) {
+		// Nothing to identify — a degraded Estimate already said why.
+		return zeroInference(est, Warning{Code: "no_match", Detail: "empty estimation: nothing to identify"}), nil
+	}
 	if est.Mux {
 		return identifyMux(man, est, p)
 	}
 	return identifyNoMux(man, est, p)
+}
+
+// zeroInference is the last-resort degraded result: the Step-1 artifacts
+// and warnings are preserved, no sequence matched, and every accuracy
+// evaluation scores zero instead of erroring.
+func zeroInference(est *Estimation, extra ...Warning) *Inference {
+	return &Inference{
+		Proto:    est.Proto,
+		Mux:      est.Mux,
+		Requests: est.Requests,
+		Groups:   est.Groups,
+		Warnings: append(append([]Warning{}, est.Warnings...), extra...),
+		eval:     zeroEval{},
+	}
+}
+
+// zeroEval scores the empty inference: zero accuracy, never an error.
+type zeroEval struct{}
+
+func (zeroEval) accuracyRange([]capture.TruthRecord) (float64, float64, error) {
+	return 0, 0, nil
 }
 
 // displayConstraint returns the track displayed for each video index, if
@@ -285,8 +311,20 @@ type noMuxEval struct {
 func (e *noMuxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64, error) {
 	g := e.g
 	n := len(g.layers)
+	denom := float64(n)
 	if len(truth) != n {
-		return 0, 0, fmt.Errorf("core: %d detected requests but %d ground-truth requests", n, len(truth))
+		// An impaired monitor can miss (or duplicate) requests, so the
+		// detected count may disagree with ground truth. Align each
+		// detected request to the nearest-in-time truth record and score
+		// against the larger population: every miss and every spurious
+		// detection counts against accuracy.
+		if len(truth) == 0 {
+			return 0, 0, fmt.Errorf("core: no ground-truth requests to evaluate against")
+		}
+		if nt := float64(len(truth)); nt > denom {
+			denom = nt
+		}
+		truth = alignTruth(g.reqs, truth)
 	}
 	minW := make([]float64, n)
 	maxW := make([]float64, n)
@@ -322,7 +360,25 @@ func (e *noMuxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64
 	if !total.ok {
 		return 0, 0, fmt.Errorf("core: no consistent sequence found")
 	}
-	return total.best / float64(n), total.worst / float64(n), nil
+	return total.best / denom, total.worst / denom, nil
+}
+
+// alignTruth maps each detected request to the ground-truth record nearest
+// in request time, monotonically (used only when the counts disagree; under
+// monitor loss a dropped request packet merges two chunks into one).
+func alignTruth(reqs []Request, truth []capture.TruthRecord) []capture.TruthRecord {
+	byTime := make([]capture.TruthRecord, len(truth))
+	copy(byTime, truth)
+	sort.SliceStable(byTime, func(a, b int) bool { return byTime[a].ReqTime < byTime[b].ReqTime })
+	out := make([]capture.TruthRecord, len(reqs))
+	j := 0
+	for i, r := range reqs {
+		for j+1 < len(byTime) && math.Abs(byTime[j+1].ReqTime-r.Time) <= math.Abs(byTime[j].ReqTime-r.Time) {
+			j++
+		}
+		out[i] = byTime[j]
+	}
+	return out
 }
 
 func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, error) {
@@ -330,7 +386,35 @@ func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, 
 	g := buildNoMuxGraph(man, est.Requests, p)
 	minW, maxW, opts := unitAudioWeights(g)
 	total, vals := g.runDP(minW, maxW, opts, func(int, media.ChunkRef) float64 { return 0 })
+	var warns []Warning
+	if !total.ok && p.Degrade {
+		// Relaxed-K ladder: gap repair reconstructs bytes approximately, so
+		// a repaired estimate can overshoot the protocol's measured error
+		// bound. Widening k trades candidate precision for a result.
+		for _, mult := range []float64{2, 4} {
+			pr := p
+			pr.K = p.K * mult
+			g2 := buildNoMuxGraph(man, est.Requests, pr)
+			m2, x2, o2 := unitAudioWeights(g2)
+			t2, v2 := g2.runDP(m2, x2, o2, func(int, media.ChunkRef) float64 { return 0 })
+			if t2.ok {
+				warns = append(warns, Warning{Code: "k_relaxed",
+					Detail: fmt.Sprintf("no sequence at k=%.3f; matched at k=%.3f", p.K, pr.K)})
+				p.Obs.Metrics().Counter("core.k_relaxed").Inc()
+				g, total, vals = g2, t2, v2
+				break
+			}
+		}
+	}
 	if !total.ok {
+		if p.Degrade {
+			span.End(obs.Str("outcome", "degraded"))
+			warns = append(warns, Warning{Code: "no_match",
+				Detail: fmt.Sprintf("no chunk sequence matches the %d estimated sizes (k=%.3f, relaxation exhausted)", len(est.Requests), p.K)})
+			inf := zeroInference(est, warns...)
+			emitWarnings(p, warns)
+			return inf, nil
+		}
 		span.End(obs.Str("outcome", "no_match"))
 		return nil, fmt.Errorf("core: no chunk sequence matches the %d estimated sizes (k=%.3f)", len(est.Requests), p.K)
 	}
@@ -338,10 +422,15 @@ func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, 
 		Proto:         est.Proto,
 		Requests:      est.Requests,
 		SequenceCount: total.count,
+		Warnings:      append(append([]Warning{}, est.Warnings...), warns...),
 		eval:          &noMuxEval{g: g},
+	}
+	if len(inf.Warnings) == 0 {
+		inf.Warnings = nil
 	}
 	inf.Best = g.extractSequence(vals)
 	p.Obs.Metrics().Gauge("core.sequence_count").Set(total.count)
+	emitWarnings(p, warns)
 	span.End(obs.Float("sequences", total.count))
 	return inf, nil
 }

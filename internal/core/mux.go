@@ -61,11 +61,24 @@ func identifyMux(man *media.Manifest, est *Estimation, p Params) (*Inference, er
 	span := p.Obs.Begin("core", "identify", obs.Int("groups", int64(len(est.Groups))))
 	g, err := buildMuxGraph(man, est, p, nil)
 	if err != nil {
+		if p.Degrade {
+			span.End(obs.Str("outcome", "degraded"))
+			w := Warning{Code: "chain_broken", Detail: err.Error()}
+			emitWarnings(p, []Warning{w})
+			return zeroInference(est, w), nil
+		}
 		span.End(obs.Str("outcome", "chain_broken"))
 		return nil, err
 	}
 	total := g.chainDP()
 	if !total.ok {
+		if p.Degrade {
+			span.End(obs.Str("outcome", "degraded"))
+			w := Warning{Code: "no_match",
+				Detail: fmt.Sprintf("no chunk sequence matches the %d traffic groups (k=%.3f)", len(est.Groups), p.K)}
+			emitWarnings(p, []Warning{w})
+			return zeroInference(est, w), nil
+		}
 		span.End(obs.Str("outcome", "no_match"))
 		return nil, fmt.Errorf("core: no chunk sequence matches the %d traffic groups (k=%.3f)", len(est.Groups), p.K)
 	}
@@ -74,12 +87,17 @@ func identifyMux(man *media.Manifest, est *Estimation, p Params) (*Inference, er
 		p.Obs.Metrics().Counter("core.search_truncations").Inc()
 	}
 	span.End(obs.Float("sequences", total.count))
+	var warns []Warning
+	if len(est.Warnings) > 0 {
+		warns = append([]Warning{}, est.Warnings...)
+	}
 	return &Inference{
 		Proto:         est.Proto,
 		Mux:           true,
 		Groups:        est.Groups,
 		SequenceCount: total.count,
 		Truncated:     g.truncated,
+		Warnings:      warns,
 		eval:          &muxEval{man: man, est: est, params: p, g: g},
 	}, nil
 }

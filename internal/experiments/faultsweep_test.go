@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"csi/internal/session"
+)
+
+func TestFaultSweepSmoke(t *testing.T) {
+	sc := Quick
+	sc.Videos = 1
+	sc.Traces = 1
+	sc.SessionSec = 120
+	levels := []FaultLevel{
+		mustLevel("clean", ""),
+		mustLevel("loss-1%", "loss=0.01,seed=3"),
+	}
+	tab, err := FaultSweep(sc, levels, session.SH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per level", len(tab.Rows))
+	}
+	// The clean level is the exact baseline: perfect accuracy, full
+	// confidence, no degradation markers.
+	clean := tab.Rows[0]
+	var best, conf float64
+	if _, err := fmt.Sscan(clean[4], &best); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscan(clean[6], &conf); err != nil {
+		t.Fatal(err)
+	}
+	if best < 99 {
+		t.Errorf("clean best accuracy = %g%%, want ~100%%", best)
+	}
+	if conf != 1 {
+		t.Errorf("clean mean confidence = %g, want 1", conf)
+	}
+	if clean[8] != "0.0" {
+		t.Errorf("clean zero-inference rate = %s, want 0.0", clean[8])
+	}
+}
+
+func TestFaultSweepDeterministic(t *testing.T) {
+	sc := Quick
+	sc.Videos = 1
+	sc.Traces = 1
+	sc.SessionSec = 90
+	levels := []FaultLevel{mustLevel("loss", "loss=0.02,seed=5")}
+	a, err := FaultSweep(sc, levels, session.SH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(sc, levels, session.SH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("sweep not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestDefaultFaultLevels(t *testing.T) {
+	levels := DefaultFaultLevels()
+	if len(levels) != 8 {
+		t.Fatalf("levels = %d, want 8", len(levels))
+	}
+	if levels[0].Spec.Enabled() {
+		t.Fatal("first level must be the clean baseline")
+	}
+	for _, l := range levels[1:] {
+		if !l.Spec.Enabled() {
+			t.Errorf("level %s has a no-op spec", l.Name)
+		}
+	}
+}

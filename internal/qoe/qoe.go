@@ -31,6 +31,23 @@ type Config struct {
 	// Horizon truncates the analysis at this wall time (e.g. the session
 	// duration); 0 = run playback to the end of downloaded content.
 	Horizon float64
+	// TolerateGaps accepts a video sequence with missing indexes (an
+	// inference degraded by monitor faults): playback is reconstructed
+	// from the longest contiguous run and the Report is marked Partial.
+	// Without it, a gap is a *GapError.
+	TolerateGaps bool
+}
+
+// GapError reports a hole in the inferred video index sequence — the
+// distinguishing mark of broken input (a monitor that missed chunks) as
+// opposed to inference that is merely wrong.
+type GapError struct {
+	After int // last index before the hole
+	Next  int // first index after the hole
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("qoe: video indexes not contiguous: %d after %d", e.Next, e.After)
 }
 
 // Stall is a playback interruption.
@@ -71,6 +88,14 @@ type Report struct {
 	// Buffer holds the buffer occupancy sampled at each download
 	// completion and playback transition.
 	Buffer []Sample
+
+	// Partial marks a report reconstructed from an incomplete chunk
+	// sequence (Config.TolerateGaps): DroppedChunks chunks outside the
+	// longest contiguous run (plus duplicate indexes) were discarded
+	// across IndexGaps holes.
+	Partial       bool
+	DroppedChunks int
+	IndexGaps     int
 }
 
 // Analyze reconstructs playback from download completions.
@@ -104,10 +129,49 @@ func Analyze(chunks []Chunk, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("qoe: no video chunks")
 	}
 	sort.Slice(video, func(a, b int) bool { return video[a].Index < video[b].Index })
-	for i := 1; i < len(video); i++ {
-		if video[i].Index != video[i-1].Index+1 {
-			return nil, fmt.Errorf("qoe: video indexes not contiguous: %d after %d", video[i].Index, video[i-1].Index)
+	if !cfg.TolerateGaps {
+		for i := 1; i < len(video); i++ {
+			if video[i].Index != video[i-1].Index+1 {
+				return nil, &GapError{After: video[i-1].Index, Next: video[i].Index}
+			}
 		}
+	} else {
+		// Duplicate indexes (monitor-duplicated downloads) collapse to
+		// their first occurrence.
+		dedup := video[:1]
+		for _, c := range video[1:] {
+			if c.Index == dedup[len(dedup)-1].Index {
+				rep.Partial = true
+				rep.DroppedChunks++
+				continue
+			}
+			dedup = append(dedup, c)
+		}
+		video = dedup
+		// Keep the longest contiguous run; count what fell away.
+		bestFrom, bestTo := 0, 1 // [from, to)
+		from := 0
+		gaps := 0
+		for i := 1; i <= len(video); i++ {
+			if i < len(video) && video[i].Index == video[i-1].Index+1 {
+				continue
+			}
+			if i < len(video) {
+				gaps++
+			}
+			if i-from > bestTo-bestFrom {
+				bestFrom, bestTo = from, i
+			}
+			from = i
+		}
+		if gaps > 0 {
+			rep.Partial = true
+			rep.IndexGaps = gaps
+			rep.DroppedChunks += len(video) - (bestTo - bestFrom)
+			video = video[bestFrom:bestTo]
+		}
+	}
+	for i := 1; i < len(video); i++ {
 		if video[i].Track != video[i-1].Track {
 			rep.Switches++
 			d := video[i].Track - video[i-1].Track

@@ -1,6 +1,7 @@
 package qoe
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -208,5 +209,75 @@ func TestReportInvariantsProperty(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(77))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestGapErrorIsTyped(t *testing.T) {
+	gap := chunksEvery(4, 1, 0)
+	gap[3].Index = 7
+	_, err := Analyze(gap, Config{ChunkDur: 5})
+	var ge *GapError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v (%T), want *GapError", err, err)
+	}
+	if ge.After != 2 || ge.Next != 7 {
+		t.Fatalf("gap = %+v, want After 2 Next 7", ge)
+	}
+}
+
+func TestTolerateGapsYieldsPartialReport(t *testing.T) {
+	// Indexes 0..4 then 8,9: the run [0,4] survives, 2 chunks drop.
+	chunks := chunksEvery(7, 1, 0)
+	chunks[5].Index = 8
+	chunks[6].Index = 9
+	rep, err := Analyze(chunks, Config{ChunkDur: 5, TolerateGaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial {
+		t.Fatal("report not marked partial")
+	}
+	if rep.IndexGaps != 1 || rep.DroppedChunks != 2 {
+		t.Fatalf("gaps = %d dropped = %d, want 1 and 2", rep.IndexGaps, rep.DroppedChunks)
+	}
+	// The surviving run replays like a clean 5-chunk session.
+	clean, err := Analyze(chunksEvery(5, 1, 0), Config{ChunkDur: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StartupDelay != clean.StartupDelay || rep.StallTime != clean.StallTime {
+		t.Fatalf("partial replay diverged: %+v vs %+v", rep, clean)
+	}
+}
+
+func TestTolerateGapsDedupsDuplicateIndexes(t *testing.T) {
+	chunks := chunksEvery(5, 1, 0)
+	dup := chunks[2]
+	dup.DoneTime += 0.05
+	chunks = append(chunks, dup)
+	rep, err := Analyze(chunks, Config{ChunkDur: 5, TolerateGaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial || rep.DroppedChunks != 1 || rep.IndexGaps != 0 {
+		t.Fatalf("partial=%v dropped=%d gaps=%d, want true/1/0", rep.Partial, rep.DroppedChunks, rep.IndexGaps)
+	}
+}
+
+func TestTolerateGapsCleanInputUnchanged(t *testing.T) {
+	clean, err := Analyze(chunksEvery(10, 4, 1), Config{ChunkDur: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol, err := Analyze(chunksEvery(10, 4, 1), Config{ChunkDur: 5, TolerateGaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol.Partial || tol.DroppedChunks != 0 || tol.IndexGaps != 0 {
+		t.Fatalf("clean input marked partial: %+v", tol)
+	}
+	if tol.StartupDelay != clean.StartupDelay || tol.StallTime != clean.StallTime ||
+		tol.Switches != clean.Switches || len(tol.Buffer) != len(clean.Buffer) {
+		t.Fatal("TolerateGaps changed a clean analysis")
 	}
 }

@@ -53,4 +53,33 @@ cmp "$obstmp/infer.metrics.txt" testdata/obs/infer.metrics.txt
 # The JSONL event log must render as a timeline without error.
 go run ./cmd/csi-trace -timeline "$obstmp/infer.trace.jsonl" > /dev/null
 
+echo "== capture decoder fuzz smoke"
+# A few seconds of coverage-guided fuzzing over each run decoder. The static
+# seed corpora under internal/capture/testdata/fuzz/ always replay as part of
+# `go test`; this smoke additionally exercises the mutation engine so a
+# decoder panic cannot land without tripping the gate.
+go test -run='^$' -fuzz='^FuzzReadJSON$' -fuzztime=5s ./internal/capture > /dev/null
+go test -run='^$' -fuzz='^FuzzReadBinary$' -fuzztime=5s ./internal/capture > /dev/null
+
+echo "== fault injection byte determinism vs committed goldens"
+# Same seed + same impairment spec must give byte-identical impaired runs
+# through the real binary, and the degraded inference over an impaired
+# capture must match the committed goldens byte for byte (regenerate with
+# `go test -run TestFaultGoldenDeterminism -update .`).
+faultspec="loss=0.01,dup=0.005,cross=1,seed=11"
+go run ./cmd/csi-run -manifest "$obstmp/man.json" -design SH -bandwidth 4 -duration 90 -seed 7 \
+    -faults "$faultspec" -o "$obstmp/fault1.json" > /dev/null 2>&1
+go run ./cmd/csi-run -manifest "$obstmp/man.json" -design SH -bandwidth 4 -duration 90 -seed 7 \
+    -faults "$faultspec" -o "$obstmp/fault2.json" > /dev/null 2>&1
+cmp "$obstmp/fault1.json" "$obstmp/fault2.json"
+go run ./cmd/csi-analyze -manifest "$obstmp/man.json" -run "$obstmp/run.json" -faults "$faultspec" \
+    -trace-out "$obstmp/fault.trace.jsonl" -metrics "$obstmp/fault.metrics.txt" > /dev/null
+cmp "$obstmp/fault.trace.jsonl" testdata/obs/fault.infer.trace.jsonl
+cmp "$obstmp/fault.metrics.txt" testdata/obs/fault.infer.metrics.txt
+
+echo "== degradation sweep smoke"
+# One tiny sweep (1 video x 1 trace, clean + one loss level) end to end; the
+# full curve is `csi-paper faults`.
+go test -run='^TestFaultSweepSmoke$' -count=1 ./internal/experiments > /dev/null
+
 echo "check.sh: all gates passed"
