@@ -21,6 +21,7 @@ import (
 	"csi/internal/capture"
 	"csi/internal/core"
 	"csi/internal/faults"
+	"csi/internal/guard"
 	"csi/internal/media"
 	"csi/internal/obs"
 	"csi/internal/pcap"
@@ -40,6 +41,8 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write an execution trace of the inference (.jsonl = JSONL events, else Chrome trace format)")
 		metrics  = flag.String("metrics", "", "write a text metrics dump to this path (\"-\" = stdout)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this path (go tool pprof)")
+		budget   = flag.Int64("work-budget", 0, "deterministic inference step budget; exhausted runs yield a partial result with a deadline_exceeded warning (0 = unbounded)")
+		deadline = flag.Float64("deadline", 0, "wall-clock inference deadline in seconds; a liveness backstop, not deterministic (0 = none)")
 	)
 	flag.Parse()
 	die := func(err error) {
@@ -77,6 +80,9 @@ func main() {
 		die(err)
 	}
 	p := core.Params{MediaHost: *host, Mux: *mux, Degrade: *degrade || fspec.Enabled()}
+	if *budget > 0 || *deadline > 0 {
+		p.Guard = guard.New(*budget).WithDeadline(guard.WallClock(), *deadline)
+	}
 	if p.MediaHost == "" {
 		p.MediaHost = man.Host
 	}

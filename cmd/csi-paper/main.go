@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"time"
 
@@ -25,6 +26,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write an execution trace of the experiments (.jsonl = JSONL events, else Chrome trace format); runs execute concurrently, so record order is not deterministic")
 	metrics := flag.String("metrics", "", "write an aggregate text metrics dump to this path (\"-\" = stdout)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this path (go tool pprof)")
+	budget := flag.Int64("work-budget", 0, "deterministic per-run inference step budget; exhausted runs degrade to partial inferences (0 = unbounded)")
+	deadline := flag.Float64("deadline", 0, "wall-clock deadline per run in seconds; a liveness backstop, not deterministic (0 = none)")
+	retries := flag.Int("retries", 0, "re-attempts per failed run (panics and cancellations are never retried)")
+	quarantine := flag.Int("quarantine-after", 0, "skip a run after this many consecutive failures (0 = disabled)")
 	flag.Parse()
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -58,6 +63,24 @@ func main() {
 		sink = obs.NewCollector()
 		sc.Obs = obs.New(nil, sink)
 	}
+	sc.WorkBudget = *budget
+	sc.DeadlineSec = *deadline
+	sc.Retries = *retries
+	sc.QuarantineAfter = *quarantine
+
+	// First SIGINT drains gracefully: in-flight runs are cancelled via their
+	// guards and whatever completed still renders. A second SIGINT kills the
+	// process the default way.
+	stop := make(chan struct{})
+	sc.Interrupt = stop
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt)
+	go func() {
+		<-sigC
+		fmt.Fprintln(os.Stderr, "csi-paper: interrupt — draining (interrupt again to kill)")
+		close(stop)
+		signal.Stop(sigC)
+	}()
 
 	names := flag.Args()
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {

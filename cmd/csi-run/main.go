@@ -17,6 +17,7 @@ import (
 
 	"csi/internal/abr"
 	"csi/internal/faults"
+	"csi/internal/guard"
 	"csi/internal/media"
 	"csi/internal/netem"
 	"csi/internal/obs"
@@ -97,7 +98,13 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	res, err := session.Run(cfg)
+	// Contain simulator panics as typed errors so a poisoned configuration
+	// reports a stack through the normal error path instead of crashing.
+	run := func() (res *session.Result, err error) {
+		defer guard.Capture(&err)
+		return session.Run(cfg)
+	}
+	res, err := run()
 	if err != nil {
 		die(err)
 	}

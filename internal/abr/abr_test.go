@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"csi/internal/media"
+	"csi/internal/media/mediatest"
 	"csi/internal/sim"
 )
 
@@ -24,7 +25,7 @@ func (f *fakeFetcher) Fetch(ref media.ChunkRef, done func(now float64)) {
 
 func testManifest(t *testing.T, audio int) *media.Manifest {
 	t.Helper()
-	return media.MustEncode(media.EncodeConfig{
+	return mediatest.Encode(t, media.EncodeConfig{
 		Name: "abr", Seed: 3, DurationSec: 300, ChunkDur: 5, TargetPASR: 1.4, AudioTracks: audio,
 	})
 }

@@ -35,6 +35,7 @@ func DefaultConfig() *Config {
 			"noprint":     {"internal/"},
 			"errcheck":    library,
 			"maporder":    library,
+			"nakedpanic":  {"internal/"},
 		},
 		Allow: map[string][]string{},
 	}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nakedpanic forbids calls to the panic builtin in library packages. A
+// panic that escapes the package aborts the whole process — in a
+// supervised sweep that means one poisoned run kills every sibling. The
+// inference entry points contain panics via guard.Capture, but code should
+// not rely on that: return an error instead. Sites that genuinely want a
+// panic (unreachable-state assertions, re-raises toward a containment
+// frame) carry a "//csi-vet:ignore nakedpanic -- <reason>" comment, which
+// doubles as an inventory of every deliberate panic in the library.
+var Nakedpanic = &Analyzer{
+	Name: "nakedpanic",
+	Doc:  "forbid the panic builtin in internal/ library packages; return errors instead",
+	Run:  runNakedpanic,
+}
+
+func runNakedpanic(pass *Pass) {
+	pass.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			pass.Reportf(call.Pos(), "call to panic aborts the process; return an error (guard.Capture only contains the inference entry points)")
+		}
+		return true
+	})
+}

@@ -9,6 +9,7 @@ var All = []*Analyzer{
 	Noprint,
 	Errcheck,
 	Maporder,
+	Nakedpanic,
 }
 
 // ByName returns the registered analyzers with the given names; unknown

@@ -1,0 +1,44 @@
+// Package nakedpanic exercises the nakedpanic rule: calls to the panic
+// builtin fire; recover, errors, a shadowing local function named panic,
+// and ignore-commented assertion panics stay silent.
+package nakedpanic
+
+import "errors"
+
+func Violations(bad bool) {
+	if bad {
+		panic("bad input")
+	}
+	defer panic(errors.New("deferred"))
+}
+
+func Clean(bad bool) error {
+	if bad {
+		return errors.New("bad input")
+	}
+	return nil
+}
+
+// CleanRecover contains someone else's panic: recover is fine.
+func CleanRecover(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errors.New("contained")
+		}
+	}()
+	fn()
+	return nil
+}
+
+// CleanShadow calls a local function that happens to be named panic.
+func CleanShadow() {
+	panic := func(string) {}
+	panic("not the builtin")
+}
+
+// CleanIgnored is a deliberate unreachable-state assertion.
+func CleanIgnored(x int) {
+	if x < 0 {
+		panic("negative after validation") //csi-vet:ignore nakedpanic -- unreachable-state assertion
+	}
+}

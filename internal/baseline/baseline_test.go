@@ -5,12 +5,13 @@ import (
 
 	"csi/internal/core"
 	"csi/internal/media"
+	"csi/internal/media/mediatest"
 	"csi/internal/netem"
 	"csi/internal/session"
 )
 
 func TestNearestMeanVsCSI(t *testing.T) {
-	man := media.MustEncode(media.EncodeConfig{
+	man := mediatest.Encode(t, media.EncodeConfig{
 		Name: "b", Seed: 77, DurationSec: 420, ChunkDur: 5, TargetPASR: 1.6,
 	})
 	res, err := session.Run(session.Config{

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"csi/internal/capture"
+	"csi/internal/guard"
 	"csi/internal/media"
 	"csi/internal/obs"
 	"csi/internal/packet"
@@ -114,6 +115,16 @@ type Params struct {
 	// post hoc (no virtual clock), so records are stamped with an ordinal
 	// obs.StepClock timeline. Nil disables instrumentation.
 	Obs *obs.Tracer
+
+	// Guard bounds the inference: a work-metered (and optionally
+	// wall-clock-deadlined) cancellation token checked at cheap
+	// deterministic checkpoints in request extraction, the mux candidate
+	// search and the DP ladders. When the token stops, the pipeline yields
+	// a partial Inference carrying a structured "deadline_exceeded" (or
+	// "cancelled") Warning instead of running unbounded — the execution
+	// analogue of the Degrade accuracy ladder. Nil (the default) disables
+	// all bounding; a nil Guard never changes any result.
+	Guard *guard.Ctx
 }
 
 // defaultFloat sets *v to def when it still holds the zero value. The
@@ -202,11 +213,18 @@ type Inference struct {
 
 // Warning is one structured degradation notice. Code is a stable
 // machine-readable tag (e.g. "sni_missing", "sni_mismatch", "k_relaxed",
-// "cross_traffic", "request_gap", "no_match"); Detail is human-readable
-// context.
+// "cross_traffic", "request_gap", "no_match", "deadline_exceeded",
+// "budget_exhausted"); Detail is human-readable context.
 type Warning struct {
 	Code   string `json:"code"`
 	Detail string `json:"detail"`
+}
+
+// guardWarning renders a stopped guard token as a structured Warning
+// ("deadline_exceeded" for budget/deadline stops, "cancelled" for drains).
+// Callers must only invoke it on a stopped token.
+func guardWarning(g *guard.Ctx) Warning {
+	return Warning{Code: g.Code(), Detail: g.Reason()}
 }
 
 // Confidences returns one confidence value per request (no-MUX) or per
@@ -276,8 +294,19 @@ func (inf *Inference) AccuracyRange(truth []capture.TruthRecord) (best, worst fl
 	return inf.eval.accuracyRange(truth)
 }
 
-// Infer runs the full CSI pipeline on a captured run.
-func Infer(man *media.Manifest, tr *capture.Trace, p Params) (*Inference, error) {
+// testHookInfer and testHookFillHalf let tests inject panics at specific
+// pipeline depths to exercise containment. Never set outside tests.
+var (
+	testHookInfer    func()
+	testHookFillHalf func()
+)
+
+// Infer runs the full CSI pipeline on a captured run. Any panic below this
+// frame — including one raised on a mux search worker goroutine — is
+// contained and returned as a *guard.PanicError, so one poisoned session
+// cannot take down a batch.
+func Infer(man *media.Manifest, tr *capture.Trace, p Params) (inf *Inference, err error) {
+	defer guard.Capture(&err)
 	if man == nil {
 		return nil, fmt.Errorf("core: nil manifest")
 	}
@@ -300,6 +329,9 @@ func Infer(man *media.Manifest, tr *capture.Trace, p Params) (*Inference, error)
 			}
 		}
 		p.MinChunkBytes = min / 2
+	}
+	if testHookInfer != nil {
+		testHookInfer()
 	}
 	est, err := Estimate(tr, p)
 	if err != nil {

@@ -61,7 +61,7 @@ func Estimate(tr *capture.Trace, p Params) (*Estimation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(all) == 0 && p.Degrade {
+	if len(all) == 0 && p.Degrade && !p.Guard.Stopped() {
 		// The SNI-matched connections produced nothing usable — e.g. cross
 		// traffic carries the media SNI while the real media connection lost
 		// its handshake to the capture window. Retry with volume-selected
@@ -78,6 +78,15 @@ func Estimate(tr *capture.Trace, p Params) (*Estimation, error) {
 		}
 	}
 	if len(all) == 0 {
+		if p.Guard.Stopped() {
+			// The guard stopped before any request was extracted: return
+			// the empty partial estimation rather than a hard error — the
+			// bounded-run contract is "partial result + warning", with or
+			// without Degrade.
+			warns = append(warns, guardWarning(p.Guard))
+			emitWarnings(p, warns)
+			return &Estimation{Proto: proto, Warnings: warns}, nil
+		}
 		if p.Degrade {
 			warns = append(warns, Warning{Code: "no_requests", Detail: "no chunk requests detected"})
 			emitWarnings(p, warns)
@@ -112,6 +121,11 @@ func Estimate(tr *capture.Trace, p Params) (*Estimation, error) {
 			p.Obs.Event("core", "gap_repair",
 				obs.Int("requests", gapReqs), obs.Int("bytes", gapBytes))
 		}
+	}
+	if p.Guard.Stopped() {
+		// Some connections were never scanned: the requests above are a
+		// truncated prefix of the session.
+		warns = append(warns, guardWarning(p.Guard))
 	}
 	emitWarnings(p, warns)
 	return &Estimation{Proto: proto, Requests: all, Warnings: warns}, nil
@@ -178,6 +192,12 @@ func excludeIDs(candidates, tried []int) []int {
 func estimateConns(byConn map[int][]packet.View, ids []int, protoOf map[int]packet.Proto, p Params, warns *[]Warning) ([]Request, error) {
 	var all []Request
 	for _, id := range ids {
+		// Guard checkpoint: one charge per connection, proportional to the
+		// packets about to be scanned. Stopping keeps the connections
+		// already extracted as a partial result.
+		if !p.Guard.Step(int64(len(byConn[id]))) {
+			break
+		}
 		var reqs []Request
 		var err error
 		switch protoOf[id] {
@@ -271,6 +291,13 @@ func estimateMuxSession(tr *capture.Trace, byConn map[int][]packet.View, ids []i
 			emitWarnings(p, warns)
 			return &Estimation{Proto: proto, Mux: true, Warnings: warns}, nil
 		}
+	}
+	// Guard checkpoint: charge the packets of the one media connection
+	// before the grouping scan.
+	if !p.Guard.Step(int64(len(byConn[mid]))) {
+		warns = append(warns, guardWarning(p.Guard))
+		emitWarnings(p, warns)
+		return &Estimation{Proto: proto, Mux: true, Warnings: warns}, nil
 	}
 	groups, err := estimateMux(byConn[mid], p, scanQUICGaps(byConn[mid]))
 	if err != nil {

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"csi/internal/capture"
+	"csi/internal/guard"
+	"csi/internal/media"
+	"csi/internal/packet"
+	"csi/internal/testleak"
+)
+
+// guardTrace builds a small clean HTTPS session trace whose two requests
+// estimate to the first chunks of tinyManifest track 0 (sizes are in the
+// 10k..18k band; header discount of 280 is added back on the wire).
+func guardTrace(man *media.Manifest) *capture.Trace {
+	sizes := man.Tracks[0].Sizes
+	views := []packet.View{sni(0, 1, "media.example.com")}
+	seqUp, seqDown := int64(300), int64(0)
+	for i := 0; i < 2; i++ {
+		t := float64(i + 1)
+		views = append(views, tcpUp(t, 1, seqUp, 400, 380))
+		seqUp += 400
+		app := sizes[i] + 280
+		views = append(views, tcpDown(t+0.1, 1, seqDown, app+20, app))
+		seqDown += app + 20
+	}
+	return mkTrace(views)
+}
+
+func TestInferTinyBudgetPartialWithDeadlineWarning(t *testing.T) {
+	man := tinyManifest(1, 2, 6, false)
+	tr := guardTrace(man)
+	p := Params{MediaHost: "media.example.com", Guard: guard.New(1)}
+	inf, err := Infer(man, tr, p)
+	if err != nil {
+		t.Fatalf("bounded Infer must yield a partial result, got error: %v", err)
+	}
+	found := false
+	for _, w := range inf.Warnings {
+		if w.Code == guard.CodeDeadline {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no %s warning in %+v", guard.CodeDeadline, inf.Warnings)
+	}
+	if inf.Best != nil || inf.SequenceCount != 0 {
+		t.Fatalf("budget of 1 step must not produce a full inference: %+v", inf)
+	}
+}
+
+func TestInferLargeBudgetMatchesNilGuard(t *testing.T) {
+	man := tinyManifest(1, 2, 6, false)
+	tr := guardTrace(man)
+	base, err := Infer(man, tr, Params{MediaHost: "media.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := guard.New(1 << 40)
+	bounded, err := Infer(man, tr, Params{MediaHost: "media.example.com", Guard: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stopped() {
+		t.Fatalf("huge budget stopped: %v", g.Err())
+	}
+	if base.SequenceCount != bounded.SequenceCount ||
+		!reflect.DeepEqual(base.Requests, bounded.Requests) ||
+		!reflect.DeepEqual(base.Warnings, bounded.Warnings) ||
+		!reflect.DeepEqual(base.Best, bounded.Best) {
+		t.Fatalf("an unexhausted guard changed the result:\nnil:   %+v\nguard: %+v", base, bounded)
+	}
+}
+
+func TestInferHookPanicContained(t *testing.T) {
+	testHookInfer = func() { panic("injected pipeline panic") }
+	defer func() { testHookInfer = nil }()
+	man := tinyManifest(1, 2, 6, false)
+	inf, err := Infer(man, guardTrace(man), Params{MediaHost: "media.example.com"})
+	if inf != nil {
+		t.Fatalf("panicking Infer returned an inference: %+v", inf)
+	}
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *guard.PanicError", err, err)
+	}
+	if pe.Value != "injected pipeline panic" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+}
+
+// TestMuxWorkerPanicContained injects a panic inside fillHalf — which runs
+// on a pool worker goroutine — and asserts it unwinds the committing
+// goroutine as a *guard.PanicError with the pool fully drained.
+func TestMuxWorkerPanicContained(t *testing.T) {
+	testleak.Check(t)
+	testHookFillHalf = func() { panic("worker poisoned") }
+	defer func() { testHookFillHalf = nil }()
+	man, groups, _ := searchScenario(7, 3, 8, 3)
+	est := &Estimation{Proto: packet.UDP, Mux: true, Groups: groups}
+	run := func() (inf *Inference, err error) {
+		defer guard.Capture(&err) // the same containment frame Infer installs
+		return Identify(man, est, searchParams(0.05))
+	}
+	inf, err := run()
+	if inf != nil {
+		t.Fatalf("poisoned search returned an inference: %+v", inf)
+	}
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *guard.PanicError", err, err)
+	}
+	if pe.Value != "worker poisoned" {
+		t.Fatalf("PanicError.Value = %v", pe.Value)
+	}
+}
+
+func TestMuxGuardBudgetDegradesToPartial(t *testing.T) {
+	testleak.Check(t)
+	man, groups, _ := searchScenario(11, 3, 8, 3)
+	est := &Estimation{Proto: packet.UDP, Mux: true, Groups: groups}
+	p := searchParams(0.05)
+	p.Guard = guard.New(3)
+	inf, err := Identify(man, est, p)
+	if err != nil {
+		t.Fatalf("bounded mux Identify must degrade, got error: %v", err)
+	}
+	found := false
+	for _, w := range inf.Warnings {
+		if w.Code == guard.CodeDeadline {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no %s warning in %+v", guard.CodeDeadline, inf.Warnings)
+	}
+}
+
+func TestMuxGuardLargeBudgetMatchesNilGuard(t *testing.T) {
+	man, groups, _ := searchScenario(13, 3, 8, 3)
+	est := &Estimation{Proto: packet.UDP, Mux: true, Groups: groups}
+	base, err := Identify(man, est, searchParams(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := searchParams(0.05)
+	p.Guard = guard.New(1 << 40)
+	bounded, err := Identify(man, est, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SequenceCount != bounded.SequenceCount || base.Truncated != bounded.Truncated ||
+		!reflect.DeepEqual(base.Warnings, bounded.Warnings) {
+		t.Fatalf("an unexhausted guard changed the mux result:\nnil:   %+v\nguard: %+v", base, bounded)
+	}
+}
+
+// TestMuxSearchNoLeakOnTruncation drives the worker pool into a mid-flight
+// truncation (tiny GroupSearchBudget cancels jobs that are still being
+// dispatched) and asserts every pool goroutine exits.
+func TestMuxSearchNoLeakOnTruncation(t *testing.T) {
+	testleak.Check(t)
+	man, groups, _ := searchScenario(17, 3, 10, 4)
+	est := &Estimation{Proto: packet.UDP, Mux: true, Groups: groups}
+	p := searchParams(0.05)
+	p.GroupSearchBudget = 1
+	if _, err := Identify(man, est, p); err != nil {
+		// Truncation may legitimately leave no matching sequence.
+		t.Logf("truncated identify: %v", err)
+	}
+}
+
+// TestMuxSearchNoLeakOnGuardCancel cancels the guard from outside while
+// the search runs, exercising the cancel-mid-flight drain.
+func TestMuxSearchNoLeakOnGuardCancel(t *testing.T) {
+	testleak.Check(t)
+	man, groups, _ := searchScenario(19, 3, 10, 4)
+	est := &Estimation{Proto: packet.UDP, Mux: true, Groups: groups}
+	p := searchParams(0.05)
+	p.Guard = guard.New(0)
+	hook := make(chan struct{})
+	testHookFillHalf = func() {
+		select {
+		case <-hook:
+			// Cancel exactly once, from inside a worker, while jobs are in
+			// flight.
+		default:
+			close(hook)
+			p.Guard.Cancel("test cancel mid-search")
+		}
+	}
+	defer func() { testHookFillHalf = nil }()
+	inf, err := Identify(man, est, p)
+	if err != nil {
+		t.Fatalf("cancelled mux Identify must degrade, got error: %v", err)
+	}
+	found := false
+	for _, w := range inf.Warnings {
+		if w.Code == guard.CodeCancelled {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no %s warning in %+v", guard.CodeCancelled, inf.Warnings)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"csi/internal/capture"
+	"csi/internal/guard"
 	"csi/internal/media"
 	"csi/internal/obs"
 )
@@ -71,6 +72,11 @@ type noMuxGraph struct {
 	layers []layer
 	reqs   []Request
 
+	// guard bounds graph construction and the DP; a stopped guard leaves
+	// trailing layers empty and aborts runDP, surfacing as no_match plus a
+	// guard warning.
+	guard *guard.Ctx
+
 	// byIndex[i] maps a chunk index to the positions of layer i's video
 	// candidates holding it (in layer order). Built once; shared by the DP
 	// predecessor lookups, the graph-edge metrics and extractSequence.
@@ -88,8 +94,13 @@ func buildNoMuxGraph(man *media.Manifest, reqs []Request, p Params) *noMuxGraph 
 	// layer's candidate list (and everything enumerated from it) is
 	// deterministic across runs.
 	audioTracks := man.AudioTracks()
-	g := &noMuxGraph{man: man, layers: make([]layer, len(reqs)), reqs: reqs}
+	g := &noMuxGraph{man: man, layers: make([]layer, len(reqs)), reqs: reqs, guard: p.Guard}
 	for i, r := range reqs {
+		if !p.Guard.OK() {
+			// Leave the remaining layers empty; runDP aborts on the stopped
+			// guard before an empty-layer path could count as a match.
+			break
+		}
 		lo, hi := media.CandidateRange(r.Est, p.K)
 		var vc []media.ChunkRef
 		for _, ref := range vIdx.Range(lo, hi, nil) {
@@ -107,6 +118,9 @@ func buildNoMuxGraph(man *media.Manifest, reqs []Request, p Params) *noMuxGraph 
 			}
 		}
 		g.layers[i] = layer{video: vc, audio: ac}
+		// Guard checkpoint: one charge per layer, proportional to the
+		// candidates materialized.
+		p.Guard.Step(int64(len(vc)) + 1)
 	}
 	g.byIndex = make([]map[int][]int, len(g.layers))
 	for i := range g.layers {
@@ -224,6 +238,13 @@ func (g *noMuxGraph) runDP(
 	}
 
 	for i := 0; i < n; i++ {
+		// Guard checkpoint: one charge per DP layer, proportional to the
+		// states expanded. Aborting returns the zero total (not ok), so a
+		// bounded run degrades to no_match rather than reporting a count
+		// from a half-explored graph.
+		if !g.guard.Step(int64(len(g.layers[i].video)) + 1) {
+			return dpVals{}, vals
+		}
 		for ci, c := range g.layers[i].video {
 			w := videoW(i, c)
 			v := dpVals{}
@@ -387,11 +408,16 @@ func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, 
 	minW, maxW, opts := unitAudioWeights(g)
 	total, vals := g.runDP(minW, maxW, opts, func(int, media.ChunkRef) float64 { return 0 })
 	var warns []Warning
-	if !total.ok && p.Degrade {
+	if !total.ok && p.Degrade && !p.Guard.Stopped() {
 		// Relaxed-K ladder: gap repair reconstructs bytes approximately, so
 		// a repaired estimate can overshoot the protocol's measured error
-		// bound. Widening k trades candidate precision for a result.
+		// bound. Widening k trades candidate precision for a result. A
+		// stopped guard skips the ladder — each rung rebuilds the graph and
+		// reruns the DP, exactly the work the budget forbids.
 		for _, mult := range []float64{2, 4} {
+			if p.Guard.Stopped() {
+				break
+			}
 			pr := p
 			pr.K = p.K * mult
 			g2 := buildNoMuxGraph(man, est.Requests, pr)
@@ -407,8 +433,11 @@ func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, 
 		}
 	}
 	if !total.ok {
-		if p.Degrade {
+		if p.Degrade || p.Guard.Stopped() {
 			span.End(obs.Str("outcome", "degraded"))
+			if p.Guard.Stopped() {
+				warns = append(warns, guardWarning(p.Guard))
+			}
 			warns = append(warns, Warning{Code: "no_match",
 				Detail: fmt.Sprintf("no chunk sequence matches the %d estimated sizes (k=%.3f, relaxation exhausted)", len(est.Requests), p.K)})
 			inf := zeroInference(est, warns...)
@@ -417,6 +446,12 @@ func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, 
 		}
 		span.End(obs.Str("outcome", "no_match"))
 		return nil, fmt.Errorf("core: no chunk sequence matches the %d estimated sizes (k=%.3f)", len(est.Requests), p.K)
+	}
+	if p.Guard.Stopped() {
+		// Defensive: a guard that stopped during the DP always yields
+		// !total.ok today, but a complete-looking result computed under a
+		// stopped guard must never pass silently.
+		warns = append(warns, guardWarning(p.Guard))
 	}
 	inf := &Inference{
 		Proto:         est.Proto,

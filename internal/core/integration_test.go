@@ -5,6 +5,7 @@ import (
 
 	"csi/internal/core"
 	"csi/internal/media"
+	"csi/internal/media/mediatest"
 	"csi/internal/netem"
 	"csi/internal/session"
 )
@@ -15,7 +16,7 @@ func manifestFor(t *testing.T, d session.Design) *media.Manifest {
 	if d.Separate() {
 		audio = 1
 	}
-	return media.MustEncode(media.EncodeConfig{
+	return mediatest.Encode(t, media.EncodeConfig{
 		Name: "itest", Seed: 23, DurationSec: 420, ChunkDur: 5,
 		TargetPASR: 1.5, AudioTracks: audio,
 	})
@@ -155,7 +156,7 @@ func TestInferWithoutSNI(t *testing.T) {
 // trivially identified. Playback indexes stay ambiguous up to the unknown
 // session start, so multiple sequences match, all with the right tracks.
 func TestInferCBR(t *testing.T) {
-	man := media.MustEncode(media.EncodeConfig{
+	man := mediatest.Encode(t, media.EncodeConfig{
 		Name: "cbr", Seed: 30, DurationSec: 300, ChunkDur: 5,
 		TargetPASR: 1.0, ChunkNoise: 1e-9, TrackJitter: 1e-9,
 	})

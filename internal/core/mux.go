@@ -61,35 +61,56 @@ func identifyMux(man *media.Manifest, est *Estimation, p Params) (*Inference, er
 	span := p.Obs.Begin("core", "identify", obs.Int("groups", int64(len(est.Groups))))
 	g, err := buildMuxGraph(man, est, p, nil)
 	if err != nil {
-		if p.Degrade {
+		if p.Degrade || p.Guard.Stopped() {
 			span.End(obs.Str("outcome", "degraded"))
-			w := Warning{Code: "chain_broken", Detail: err.Error()}
-			emitWarnings(p, []Warning{w})
-			return zeroInference(est, w), nil
+			var ws []Warning
+			if p.Guard.Stopped() {
+				ws = append(ws, guardWarning(p.Guard))
+			}
+			ws = append(ws, Warning{Code: "chain_broken", Detail: err.Error()})
+			emitWarnings(p, ws)
+			return zeroInference(est, ws...), nil
 		}
 		span.End(obs.Str("outcome", "chain_broken"))
 		return nil, err
 	}
 	total := g.chainDP()
 	if !total.ok {
-		if p.Degrade {
+		if p.Degrade || p.Guard.Stopped() {
 			span.End(obs.Str("outcome", "degraded"))
-			w := Warning{Code: "no_match",
-				Detail: fmt.Sprintf("no chunk sequence matches the %d traffic groups (k=%.3f)", len(est.Groups), p.K)}
-			emitWarnings(p, []Warning{w})
-			return zeroInference(est, w), nil
+			var ws []Warning
+			if p.Guard.Stopped() {
+				ws = append(ws, guardWarning(p.Guard))
+			}
+			ws = append(ws, Warning{Code: "no_match",
+				Detail: fmt.Sprintf("no chunk sequence matches the %d traffic groups (k=%.3f)", len(est.Groups), p.K)})
+			emitWarnings(p, ws)
+			return zeroInference(est, ws...), nil
 		}
 		span.End(obs.Str("outcome", "no_match"))
 		return nil, fmt.Errorf("core: no chunk sequence matches the %d traffic groups (k=%.3f)", len(est.Groups), p.K)
 	}
 	p.Obs.Metrics().Gauge("core.sequence_count").Set(total.count)
+	var extra []Warning
 	if g.truncated {
 		p.Obs.Metrics().Counter("core.search_truncations").Inc()
+		if !p.Guard.Stopped() {
+			// A truncated search used to fall back silently to whatever
+			// candidates were committed; surface it so consumers know the
+			// count is a lower bound. A guard stop reports its own warning
+			// below instead — both imply truncation, with different causes.
+			extra = append(extra, Warning{Code: "budget_exhausted",
+				Detail: fmt.Sprintf("group search budget %d exhausted; candidate sets truncated and the sequence count is a lower bound", p.GroupSearchBudget)})
+		}
 	}
+	if p.Guard.Stopped() {
+		extra = append(extra, guardWarning(p.Guard))
+	}
+	emitWarnings(p, extra)
 	span.End(obs.Float("sequences", total.count))
-	var warns []Warning
+	warns := extra
 	if len(est.Warnings) > 0 {
-		warns = append([]Warning{}, est.Warnings...)
+		warns = append(append([]Warning{}, est.Warnings...), extra...)
 	}
 	return &Inference{
 		Proto:         est.Proto,
@@ -243,6 +264,12 @@ func (g *muxGraph) chainDP() dpVals {
 	}
 
 	for gi := range g.groups {
+		// Guard checkpoint: one charge per group, proportional to the live
+		// states. Aborting yields the zero total so a bounded run degrades
+		// to no_match plus the guard warning.
+		if !g.params.Guard.Step(int64(len(cur)) + 1) {
+			return dpVals{}
+		}
 		next := valMap{}
 		byStart := map[int][]*groupCand{}
 		var withVideo, noVideo []*groupCand

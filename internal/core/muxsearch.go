@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"csi/internal/guard"
 	"csi/internal/media"
 	"csi/internal/obs"
 )
@@ -104,7 +105,19 @@ func (hc *halfCache) get(key halfKey, cancel *atomic.Bool, fill func(e *halfEntr
 			e = &halfEntry{done: make(chan struct{})}
 			hc.m[key] = e
 			hc.mu.Unlock()
-			fill(e)
+			func() {
+				// A panic inside fill must still close done, or every
+				// waiter on this entry deadlocks while the panic is being
+				// contained elsewhere.
+				defer func() {
+					if r := recover(); r != nil {
+						e.failed = true
+						close(e.done)
+						panic(r) //csi-vet:ignore nakedpanic -- re-raise after publishing the failed entry
+					}
+				}()
+				fill(e)
+			}()
 			close(e.done)
 			return e
 		}
@@ -150,6 +163,12 @@ type muxSearch struct {
 	tc       *truthCtx
 	truthIdx [][]int // per group: sorted ground-truth video indexes
 
+	// guard bounds the search. The serial commit loop charges it (via
+	// chargeHalf, mirroring the GroupSearchBudget charges); workers only
+	// poll OK() for an early abort, so the committed candidates under a
+	// step budget never depend on scheduling.
+	guard *guard.Ctx
+
 	cache *halfCache
 	// seen tracks halves by first committed use across build and eval for
 	// the deterministic hit/miss metrics; charged tracks budget charges and
@@ -173,6 +192,7 @@ func newMuxSearch(man *media.Manifest, p Params, tc *truthCtx) *muxSearch {
 		cache:   &halfCache{m: map[halfKey]*halfEntry{}},
 		seen:    map[halfKey]bool{},
 		charged: map[halfKey]bool{},
+		guard:   p.Guard,
 		workers: runtime.GOMAXPROCS(0),
 	}
 	if ms.workers < 1 {
@@ -299,6 +319,11 @@ type windowJob struct {
 }
 
 type windowRes struct {
+	// panicked carries a panic contained on the worker goroutine; the
+	// commit loop re-raises it so it unwinds the committing (caller)
+	// goroutine and reaches Infer's guard.Capture.
+	panicked *guard.PanicError
+
 	cancelled        bool
 	lKey, rKey       halfKey
 	lCost, rCost     int64
@@ -341,6 +366,9 @@ func (ms *muxSearch) prepare(j *windowJob) {
 // cancel flag aborts the enumeration between levels and marks the entry
 // failed; a level growing past halfComboCap marks it capped.
 func (ms *muxSearch) fillHalf(e *halfEntry, gi, from, to int, cancel *atomic.Bool) {
+	if testHookFillHalf != nil {
+		testHookFillHalf()
+	}
 	sc := enumScratchPool.Get().(*enumScratch)
 	defer func() {
 		sc.cur, sc.next = sc.cur[:0], sc.next[:0]
@@ -349,7 +377,9 @@ func (ms *muxSearch) fillHalf(e *halfEntry, gi, from, to int, cancel *atomic.Boo
 	cur := append(sc.cur[:0], halfCombo{count: 1})
 	next := sc.next[:0]
 	for idx := from; idx < to; idx++ {
-		if cancel != nil && cancel.Load() {
+		// A stopped guard aborts like a cancellation: the entry is marked
+		// failed and recomputed only if a non-stopped caller ever wants it.
+		if (cancel != nil && cancel.Load()) || !ms.guard.OK() {
 			e.failed = true
 			sc.cur, sc.next = cur, next
 			return
@@ -528,6 +558,14 @@ func meetHalves(l, r *halfEntry, vLo, vHi int64) (count, maxW, minW float64) {
 // cache and meet them. A capped left half short-circuits the right half.
 func (ms *muxSearch) runJob(j *windowJob, cancel *atomic.Bool) {
 	defer close(j.done)
+	// Contain a worker panic into the job result. Registered after the
+	// close defer so it runs first (LIFO): panicked is published before
+	// done is closed and the commit loop re-raises it on its own stack.
+	defer func() {
+		if r := recover(); r != nil {
+			j.res.panicked = guard.AsPanicError(r)
+		}
+	}()
 	if cancel.Load() {
 		j.res.cancelled = true
 		return
@@ -575,6 +613,10 @@ func (ms *muxSearch) chargeHalf(key halfKey, cost int64, budget *int64) {
 	if !ms.charged[key] {
 		ms.charged[key] = true
 		*budget -= cost
+		// The guard charge mirrors the GroupSearchBudget charge: serial,
+		// at first committed use, so the guard's stopping point is as
+		// deterministic as the group budget's truncation point.
+		ms.guard.Step(cost)
 	}
 }
 
@@ -701,7 +743,7 @@ func (ms *muxSearch) groupCandidates(grp Group, nReq, gi int, wildcard bool, adm
 			continue
 		}
 		j := a.job
-		if budget <= 0 {
+		if budget <= 0 || !ms.guard.OK() {
 			truncated = true
 			ms.cWinTrunc.Inc()
 			return out, truncated
@@ -714,9 +756,18 @@ func (ms *muxSearch) groupCandidates(grp Group, nReq, gi int, wildcard bool, adm
 		launch(ji + 1 + lookahead)
 		ji++
 		<-j.done
+		if j.res.panicked != nil {
+			// Re-raise the contained worker panic on the committing
+			// goroutine: the deferred cancel+wait above drain the pool, and
+			// the panic unwinds to Infer's guard.Capture.
+			panic(j.res.panicked) //csi-vet:ignore nakedpanic -- re-raises a contained worker panic toward guard.Capture
+		}
 		if j.res.cancelled {
-			// Unreachable: jobs are committed in submission order before
-			// cancellation is ever raised. Fail safe as a truncation.
+			// Under a pure step budget this is unreachable: jobs are
+			// committed in submission order before cancellation is ever
+			// raised, and a guard stop is caught by the loop-head check.
+			// A wall-clock deadline can expire between the head check and
+			// the worker's own poll; fail safe as a truncation.
 			truncated = true
 			ms.cWinTrunc.Inc()
 			return out, truncated
@@ -765,14 +816,14 @@ func (ms *muxSearch) evalWindow(gi, s, vLen int, vLo, vHi int64, budget *int64) 
 	lKey := ms.keyFor(gl, s, s+mid)
 	le := ms.cache.get(lKey, nil, func(e *halfEntry) { ms.fillHalf(e, gl, s, s+mid, nil) })
 	ms.chargeHalf(lKey, le.cost, budget)
-	if le.capped {
+	if le.capped || le.failed {
 		return 0, 0
 	}
 	gr := ms.truthGi(gi, s+mid, s+vLen)
 	rKey := ms.keyFor(gr, s+mid, s+vLen)
 	re := ms.cache.get(rKey, nil, func(e *halfEntry) { ms.fillHalf(e, gr, s+mid, s+vLen, nil) })
 	ms.chargeHalf(rKey, re.cost, budget)
-	if re.capped || *budget <= 0 {
+	if re.capped || re.failed || *budget <= 0 {
 		return 0, 0
 	}
 	_, maxW, minW = meetHalves(le, re, vLo, vHi)

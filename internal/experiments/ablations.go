@@ -4,10 +4,18 @@ import (
 	"fmt"
 
 	"csi/internal/core"
+	"csi/internal/guard"
+	"csi/internal/guard/runner"
 	"csi/internal/media"
 	"csi/internal/netem"
 	"csi/internal/session"
 )
+
+// ablVariant is one parameterisation of an ablation experiment.
+type ablVariant struct {
+	name string
+	p    core.Params
+}
 
 // Ablations quantifies the design choices DESIGN.md calls out:
 //
@@ -46,16 +54,10 @@ func Ablations(sc Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, variant := range []struct {
-		name string
-		p    core.Params
-	}{
+	t.Rows = append(t.Rows, ablRows("header-discount", manSH, resSH, []ablVariant{
 		{"with discount (default)", core.Params{MediaHost: manSH.Host}},
 		{"no header discount", core.Params{MediaHost: manSH.Host, MinResponseHeaderBytes: -1}},
-	} {
-		variant.p.Obs = sc.Obs.Child()
-		t.Rows = append(t.Rows, ablRow("header-discount", variant.name, manSH, resSH, variant.p))
-	}
+	}, sc)...)
 
 	// --- SP2 split points (SQ).
 	resSQ, err := session.Run(session.Config{
@@ -67,19 +69,41 @@ func Ablations(sc Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, variant := range []struct {
-		name string
-		p    core.Params
-	}{
+	t.Rows = append(t.Rows, ablRows("sq-split-points", manSH, resSQ, []ablVariant{
 		{"SP1+SP2 (default)", core.Params{MediaHost: manSH.Host, Mux: true}},
 		{"SP1 only", core.Params{MediaHost: manSH.Host, Mux: true, DisableSP2: true}},
 		{"SP2 only", core.Params{MediaHost: manSH.Host, Mux: true, IdleSplitSec: 1e9}},
 		{"SP1+SP2+display", core.Params{MediaHost: manSH.Host, Mux: true, Display: resSQ.Run.Display}},
-	} {
-		variant.p.Obs = sc.Obs.Child()
-		t.Rows = append(t.Rows, ablRow("sq-split-points", variant.name, manSH, resSQ, variant.p))
-	}
+	}, sc)...)
 	return t, nil
+}
+
+// ablRows scores each variant as one supervised runner task; rows land in
+// variant order. A task that fails outright (contained panic, cancellation)
+// still yields a row so the table shape is stable.
+func ablRows(exp string, man *media.Manifest, res *session.Result, variants []ablVariant, sc Scale) [][]string {
+	rows := make([][]string, len(variants))
+	tasks := make([]runner.Task, len(variants))
+	for vi, v := range variants {
+		vi, v := vi, v
+		tasks[vi] = runner.Task{
+			Name: fmt.Sprintf("ablation/%s/%s", exp, v.name),
+			Run: func(g *guard.Ctx) error {
+				p := v.p
+				p.Obs = sc.Obs.Child()
+				p.Guard = g
+				rows[vi] = ablRow(exp, v.name, man, res, p)
+				return nil
+			},
+		}
+	}
+	rres, _ := runner.Run(tasks, runnerPolicy(sc))
+	for vi, r := range rres {
+		if r.Err != nil {
+			rows[vi] = []string{exp, variants[vi].name, "FAIL: " + truncateErr(r.Err), "-", "-", "-", "-"}
+		}
+	}
+	return rows
 }
 
 func ablRow(exp, name string, man *media.Manifest, res *session.Result, p core.Params) []string {
@@ -91,8 +115,14 @@ func ablRow(exp, name string, man *media.Manifest, res *session.Result, p core.P
 	if err != nil {
 		return []string{exp, name, "eval: " + truncateErr(err), "-", "-", "-", "-"}
 	}
+	ok := "yes"
+	if len(inf.Warnings) > 0 {
+		// A budget-truncated or degraded inference still rows up, but
+		// labelled so a bounded sweep is not mistaken for a clean one.
+		ok = "partial: " + inf.Warnings[0].Code
+	}
 	return []string{
-		exp, name, "yes",
+		exp, name, ok,
 		fmt.Sprintf("%d", len(inf.Groups)),
 		fmt.Sprintf("%g", inf.SequenceCount),
 		pct(best), pct(worst),

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"csi/internal/guard/runner"
 	"csi/internal/obs"
 )
 
@@ -32,6 +33,40 @@ type Scale struct {
 	// in the sense that it rides along in the key; pass the same tracer
 	// for a whole csi-paper invocation.
 	Obs *obs.Tracer
+
+	// WorkBudget, when positive, bounds each evaluated run's inference by a
+	// deterministic step budget (see guard.Ctx). Exhausted runs degrade to
+	// partial inferences carrying a deadline_exceeded warning and score
+	// accordingly instead of stalling the sweep.
+	WorkBudget int64
+	// DeadlineSec, when positive, adds a wall-clock deadline per run. It is
+	// a liveness backstop, not a determinism mechanism: which run trips it
+	// depends on machine speed.
+	DeadlineSec float64
+	// Retries bounds re-attempts of failed runs (panics and cancellations
+	// are never retried). Backoff is deterministically seeded per task.
+	Retries int
+	// QuarantineAfter, when positive, skips a (video, trace) task key after
+	// that many consecutive failures, so one poisoned input cannot consume
+	// the whole retry budget of a sweep.
+	QuarantineAfter int
+	// Interrupt, when non-nil, requests a graceful drain when closed:
+	// in-flight runs are cancelled via their guards and pending tasks are
+	// skipped. cmd/csi-paper wires it to SIGINT.
+	Interrupt <-chan struct{}
+}
+
+// runnerPolicy maps a Scale onto the supervised runner policy every
+// experiment driver executes its per-run tasks under.
+func runnerPolicy(sc Scale) runner.Policy {
+	return runner.Policy{
+		WorkBudget:      sc.WorkBudget,
+		DeadlineSec:     sc.DeadlineSec,
+		Retries:         sc.Retries,
+		QuarantineAfter: sc.QuarantineAfter,
+		Interrupt:       sc.Interrupt,
+		Obs:             sc.Obs,
+	}
 }
 
 // Full is the EXPERIMENTS.md scale. The paper streams 10-minute sessions

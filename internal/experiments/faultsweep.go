@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"csi/internal/capture"
 	"csi/internal/core"
 	"csi/internal/faults"
+	"csi/internal/guard"
+	"csi/internal/guard/runner"
 	"csi/internal/media"
 	"csi/internal/netem"
 	"csi/internal/qoe"
@@ -27,7 +28,7 @@ type FaultLevel struct {
 func mustLevel(name, spec string) FaultLevel {
 	s, err := faults.ParseSpec(spec)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: bad built-in fault level %q: %v", name, err))
+		panic(fmt.Sprintf("experiments: bad built-in fault level %q: %v", name, err)) //csi-vet:ignore nakedpanic -- literal built-in specs; a parse failure is a programming error
 	}
 	return FaultLevel{Name: name, Spec: s}
 }
@@ -118,54 +119,68 @@ func FaultSweep(sc Scale, levels []FaultLevel, designs ...session.Design) (*Tabl
 		}
 
 		// Stream every session once, then score all levels against the same
-		// captured bytes. Jobs fan out across cores; per-job results land in
-		// index order, so the aggregate is deterministic.
+		// captured bytes. Jobs run under the supervised runner; per-job
+		// results land in index order, so the aggregate is deterministic.
 		results := make([][]faultOutcome, len(jobs))
 		skipped := make([]bool, len(jobs))
-		var firstErr error
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		tasks := make([]runner.Task, len(jobs))
 		for ji, jb := range jobs {
-			wg.Add(1)
-			go func(ji int, jb job) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				res, err := session.Run(session.Config{
-					Design: d, Manifest: jb.man, Bandwidth: jb.bw,
-					Duration: sc.SessionSec, Seed: jb.seed,
-					Obs: sc.Obs.Child(),
-				})
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("experiments: fault sweep seed %d: %w", jb.seed, err)
+			ji, jb := ji, jb
+			tasks[ji] = runner.Task{
+				Name: fmt.Sprintf("fault/%v/seed-%d", d, jb.seed),
+				Run: func(g *guard.Ctx) error {
+					res, err := session.Run(session.Config{
+						Design: d, Manifest: jb.man, Bandwidth: jb.bw,
+						Duration: sc.SessionSec, Seed: jb.seed,
+						Obs: sc.Obs.Child(),
+					})
+					if err != nil {
+						return fmt.Errorf("experiments: fault sweep seed %d: %w", jb.seed, err)
 					}
-					mu.Unlock()
-					skipped[ji] = true
-					return
-				}
-				if len(res.Run.Truth) < 5 {
-					skipped[ji] = true
-					return
-				}
-				outs := make([]faultOutcome, len(levels))
-				for li, lvl := range levels {
-					run := res.Run
-					if lvl.Spec.Enabled() {
-						js := lvl.Spec
-						// Every job sees a different realization of the same
-						// impairment level, deterministically.
-						js.Seed = js.Seed*1_000_003 + jb.seed*7919 + int64(li)
-						run, _ = faults.Apply(res.Run, js, sc.Obs.Child())
+					if len(res.Run.Truth) < 5 {
+						skipped[ji] = true
+						return nil
 					}
-					outs[li] = scoreFaultRun(jb.man, run, d, sc)
-				}
-				results[ji] = outs
-			}(ji, jb)
+					outs := make([]faultOutcome, len(levels))
+					for li, lvl := range levels {
+						run := res.Run
+						if lvl.Spec.Enabled() {
+							js := lvl.Spec
+							// Every job sees a different realization of the same
+							// impairment level, deterministically.
+							js.Seed = js.Seed*1_000_003 + jb.seed*7919 + int64(li)
+							run, _ = faults.Apply(res.Run, js, sc.Obs.Child())
+						}
+						outs[li] = scoreFaultRun(jb.man, run, d, sc, g)
+					}
+					// Drain artifacts are not data points (budget stops are).
+					if g.Code() == guard.CodeCancelled {
+						skipped[ji] = true
+						return nil
+					}
+					results[ji] = outs
+					return nil
+				},
+			}
 		}
-		wg.Wait()
+		rres, _ := runner.Run(tasks, runnerPolicy(sc))
+		var firstErr error
+		for ji, r := range rres {
+			if r.Err == nil {
+				continue
+			}
+			skipped[ji] = true
+			if r.Panicked || r.Cancelled || r.Quarantined {
+				continue
+			}
+			var pe *guard.PanicError
+			if errors.As(r.Err, &pe) {
+				continue
+			}
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+		}
 		if firstErr != nil {
 			return nil, firstErr
 		}
@@ -213,12 +228,14 @@ func FaultSweep(sc Scale, levels []FaultLevel, designs ...session.Design) (*Tabl
 
 // scoreFaultRun infers one (possibly impaired) run with degradation enabled
 // and scores it. Inference failures are impossible by construction — Degrade
-// converts them to zero inferences — so every run contributes a point.
-func scoreFaultRun(man *media.Manifest, run *capture.Run, d session.Design, sc Scale) faultOutcome {
+// converts them to zero inferences — so every run contributes a point. The
+// guard is the per-task budget shared by all levels of one job; once it is
+// exhausted the remaining levels degrade to zero inferences immediately.
+func scoreFaultRun(man *media.Manifest, run *capture.Run, d session.Design, sc Scale, g *guard.Ctx) faultOutcome {
 	o := faultOutcome{}
 	p := core.Params{
 		MediaHost: man.Host, Mux: d == session.SQ,
-		Degrade: true, Obs: sc.Obs.Child(),
+		Degrade: true, Obs: sc.Obs.Child(), Guard: g,
 	}
 	inf, err := core.Infer(man, run.Trace, p)
 	if err != nil {

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"csi/internal/core"
+	"csi/internal/guard"
+	"csi/internal/guard/runner"
 	"csi/internal/media"
 	"csi/internal/netem"
 	"csi/internal/session"
@@ -63,65 +65,90 @@ func evalRuns(design session.Design, sc Scale) ([]runOutcome, error) {
 		}
 	}
 
-	// Runs are independent simulations; fan them out across cores. A
-	// sentinel outcome marks skipped runs (trace too slow to stream).
+	// Runs are independent simulations supervised by the guard runner: each
+	// task streams one session and infers it under a per-task guard, so a
+	// stuck or panicking run is bounded and contained instead of wedging the
+	// whole sweep. A sentinel outcome marks skipped runs (trace too slow to
+	// stream, or a task that could not complete).
 	results := make([]runOutcome, len(jobs))
 	skipped := make([]bool, len(jobs))
-	var firstErr error
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	tasks := make([]runner.Task, len(jobs))
 	for ji, jb := range jobs {
-		wg.Add(1)
-		go func(ji int, jb job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := session.Run(session.Config{
-				Design: design, Manifest: jb.man, Bandwidth: jb.bw,
-				Duration: sc.SessionSec, Seed: jb.seed,
-				Obs: sc.Obs.Child(),
-			})
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiments: run seed %d: %w", jb.seed, err)
+		ji, jb := ji, jb
+		tasks[ji] = runner.Task{
+			Name: fmt.Sprintf("%v/seed-%d", design, jb.seed),
+			Run: func(g *guard.Ctx) error {
+				res, err := session.Run(session.Config{
+					Design: design, Manifest: jb.man, Bandwidth: jb.bw,
+					Duration: sc.SessionSec, Seed: jb.seed,
+					Obs: sc.Obs.Child(),
+				})
+				if err != nil {
+					return fmt.Errorf("experiments: run seed %d: %w", jb.seed, err)
 				}
-				mu.Unlock()
-				skipped[ji] = true
-				return
-			}
-			if len(res.Run.Truth) < 5 {
-				skipped[ji] = true // trace too slow to stream anything meaningful
-				return
-			}
-			o := runOutcome{}
-			p := core.Params{MediaHost: jb.man.Host, Mux: design == session.SQ, Obs: sc.Obs.Child()}
-			inf, err := core.Infer(jb.man, res.Run.Trace, p)
-			if err != nil {
-				o.err = err
-				o.best, o.worst = 0, 0
-			} else {
-				o.best, o.worst, err = inf.AccuracyRange(res.Run.Truth)
+				if len(res.Run.Truth) < 5 {
+					skipped[ji] = true // trace too slow to stream anything meaningful
+					return nil
+				}
+				o := runOutcome{}
+				p := core.Params{
+					MediaHost: jb.man.Host, Mux: design == session.SQ,
+					Obs: sc.Obs.Child(), Guard: g,
+				}
+				inf, err := core.Infer(jb.man, res.Run.Trace, p)
 				if err != nil {
 					o.err = err
+					o.best, o.worst = 0, 0
+				} else {
+					o.best, o.worst, err = inf.AccuracyRange(res.Run.Truth)
+					if err != nil {
+						o.err = err
+					}
+					o.uniqueSeq = inf.SequenceCount == 1
+					for _, g := range inf.Groups {
+						o.groups = append(o.groups, len(g.ReqTimes))
+					}
 				}
-				o.uniqueSeq = inf.SequenceCount == 1
-				for _, g := range inf.Groups {
-					o.groups = append(o.groups, len(g.ReqTimes))
+				pd := p
+				pd.Display = res.Run.Display
+				infd, err := core.Infer(jb.man, res.Run.Trace, pd)
+				if err == nil {
+					o.bestDisp, o.worstDisp, _ = infd.AccuracyRange(res.Run.Truth)
+					o.uniqueDisp = infd.SequenceCount == 1
 				}
-			}
-			pd := p
-			pd.Display = res.Run.Display
-			infd, err := core.Infer(jb.man, res.Run.Trace, pd)
-			if err == nil {
-				o.bestDisp, o.worstDisp, _ = infd.AccuracyRange(res.Run.Truth)
-				o.uniqueDisp = infd.SequenceCount == 1
-			}
-			results[ji] = o
-		}(ji, jb)
+				// An interrupt-cancelled run is a drain artifact, not a
+				// scored outcome; budget-exhausted runs DO count — their
+				// zero rows are what an operator with that budget gets.
+				if g.Code() == guard.CodeCancelled {
+					skipped[ji] = true
+					return nil
+				}
+				results[ji] = o
+				return nil
+			},
+		}
 	}
-	wg.Wait()
+	rres, _ := runner.Run(tasks, runnerPolicy(sc))
+	var firstErr error
+	for ji, r := range rres {
+		if r.Err == nil {
+			continue
+		}
+		skipped[ji] = true
+		// Contained failures (panics, cancellations, quarantines) degrade to
+		// skipped runs so sibling sessions still count; anything else is a
+		// hard error for the sweep.
+		if r.Panicked || r.Cancelled || r.Quarantined {
+			continue
+		}
+		var pe *guard.PanicError
+		if errors.As(r.Err, &pe) {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = r.Err
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

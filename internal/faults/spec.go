@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,7 +57,10 @@ func ParseSpec(s string) (Spec, error) {
 					spec.DropGood = 0
 					spec.DropBad = 0.5
 					spec.PBG = 0.25
-					spec.PGB = 0.25 * 2 * p / (1 - 2*p)
+					// Above p = 0.4 the implied transition probability
+					// exceeds 1; clamp so the spec stays a valid GE chain
+					// (and String() output stays re-parseable).
+					spec.PGB = math.Min(1, 0.25*2*p/(1-2*p))
 				}
 			}
 		case "ge":
@@ -86,15 +90,24 @@ func ParseSpec(s string) (Spec, error) {
 			spec.JitterSec, err = parseNonNeg(v)
 		case "skew":
 			spec.SkewPPM, err = strconv.ParseFloat(v, 64)
+			if err == nil && (math.IsNaN(spec.SkewPPM) || math.IsInf(spec.SkewPPM, 0)) {
+				return spec, fmt.Errorf("faults: skew=%s must be finite", v)
+			}
 		case "cross":
 			spec.CrossFlows, err = strconv.Atoi(v)
 			if err == nil && spec.CrossFlows < 0 {
 				return spec, fmt.Errorf("faults: cross=%d must be >= 0", spec.CrossFlows)
 			}
 		case "crosshost":
+			if v == "" || strings.ContainsAny(v, ",= \t") {
+				return spec, fmt.Errorf("faults: crosshost=%q must be a non-empty host without ',', '=' or spaces", v)
+			}
 			spec.CrossHost = v
 		case "crossbytes":
 			spec.CrossMeanBytes, err = strconv.ParseInt(v, 10, 64)
+			if err == nil && spec.CrossMeanBytes < 1 {
+				return spec, fmt.Errorf("faults: crossbytes=%d must be >= 1", spec.CrossMeanBytes)
+			}
 		default:
 			return spec, fmt.Errorf("faults: unknown impairment %q", k)
 		}
@@ -113,7 +126,9 @@ func parseProb(s string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if p < 0 || p > 1 {
+	// NaN compares false to everything, so check it explicitly or it
+	// slips through the range guard.
+	if math.IsNaN(p) || p < 0 || p > 1 {
 		return 0, fmt.Errorf("probability %g out of [0,1]", p)
 	}
 	return p, nil
@@ -124,8 +139,8 @@ func parseNonNeg(s string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if v < 0 {
-		return 0, fmt.Errorf("%g must be >= 0", v)
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("%g must be finite and >= 0", v)
 	}
 	return v, nil
 }

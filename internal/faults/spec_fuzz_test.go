@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec asserts the parser's safety contract on arbitrary input:
+// it never panics, every accepted spec holds only finite, in-range
+// impairment parameters, and the canonical String() rendering of an
+// enabled spec re-parses to the same canonical form.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"none-like garbage",
+		"loss=0.01",
+		"loss=0.45",
+		"ge=0.1:0.3:0:0.5",
+		"start=5,end=30",
+		"snaplen=96",
+		"dup=0.005,jitter=0.002",
+		"skew=120",
+		"skew=-40.5",
+		"cross=2,crosshost=cdn.example.com,crossbytes=12000",
+		"loss=0.01,start=5,dup=0.005,cross=1",
+		"seed=42,loss=0.02",
+		"loss=NaN",
+		"skew=Inf",
+		"start=1e309",
+		"crosshost=",
+		"crossbytes=-1",
+		"end=1,start=2",
+		"=,=,=",
+		"loss=0.01,loss=0.02",
+		"  loss = 0.01 ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		for name, v := range map[string]float64{
+			"PGB": spec.PGB, "PBG": spec.PBG,
+			"DropGood": spec.DropGood, "DropBad": spec.DropBad,
+			"DupProb": spec.DupProb,
+		} {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Fatalf("ParseSpec(%q): %s = %g out of [0,1]", s, name, v)
+			}
+		}
+		for name, v := range map[string]float64{
+			"StartSec": spec.StartSec, "EndSec": spec.EndSec,
+			"JitterSec": spec.JitterSec,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("ParseSpec(%q): %s = %g not finite and >= 0", s, name, v)
+			}
+		}
+		if math.IsNaN(spec.SkewPPM) || math.IsInf(spec.SkewPPM, 0) {
+			t.Fatalf("ParseSpec(%q): SkewPPM = %g not finite", s, spec.SkewPPM)
+		}
+		if spec.Snaplen != 0 && spec.Snaplen < 96 {
+			t.Fatalf("ParseSpec(%q): Snaplen = %d below the floor", s, spec.Snaplen)
+		}
+		if spec.CrossFlows < 0 {
+			t.Fatalf("ParseSpec(%q): CrossFlows = %d negative", s, spec.CrossFlows)
+		}
+		if spec.CrossMeanBytes != 0 && spec.CrossMeanBytes < 1 {
+			t.Fatalf("ParseSpec(%q): CrossMeanBytes = %d below 1", s, spec.CrossMeanBytes)
+		}
+		if strings.ContainsAny(spec.CrossHost, ",= \t") {
+			t.Fatalf("ParseSpec(%q): CrossHost %q cannot round-trip", s, spec.CrossHost)
+		}
+		if !spec.Enabled() {
+			return // String() renders "none", which is deliberately unparseable
+		}
+		canon := spec.String()
+		spec2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q).String() = %q does not re-parse: %v", s, canon, err)
+		}
+		if got := spec2.String(); got != canon {
+			t.Fatalf("canonical form unstable: %q -> %q -> %q", s, canon, got)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+// Package guard is the deterministic execution-control layer of the
+// inference pipeline: work-metered cancellation tokens, wall-clock
+// deadlines and panic containment.
+//
+// A Ctx is charged at cheap, deterministic checkpoints inside the hot
+// paths (per connection scanned in Step 1, per committed search window and
+// per DP layer in Step 2). Exceeding the step budget stops the token, and
+// the pipeline degrades to a partial result carrying a structured
+// "deadline_exceeded" warning — the same shape as the capture-fault
+// degradation warnings — instead of stalling without bound. Step budgets
+// are pure work counts, so a budgeted run is byte-reproducible; the
+// optional wall-clock deadline (WithDeadline + WallClock) is the one
+// non-deterministic escape hatch, reserved for production monitors and
+// kept out of every golden path.
+//
+// Capture converts a panic unwinding through core.Infer (or a runner task)
+// into a typed *PanicError carrying the stack, so one poisoned session
+// cannot take down a batch.
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// Stop codes, as they appear in structured warnings.
+const (
+	// CodeDeadline marks a stop caused by an exhausted step budget or an
+	// expired wall-clock deadline.
+	CodeDeadline = "deadline_exceeded"
+	// CodeCancelled marks an external Cancel (e.g. an interrupt drain).
+	CodeCancelled = "cancelled"
+)
+
+// stopInfo records why a token stopped. It is published once through an
+// atomic pointer: nil means the token is still running.
+type stopInfo struct {
+	code   string
+	detail string
+}
+
+// Ctx is a cancellable execution token with an optional step budget and an
+// optional wall-clock deadline. The nil token is valid and never stops, so
+// unguarded callers pay a single pointer check per checkpoint.
+//
+// All methods are safe for concurrent use: the serial commit paths charge
+// work with Step while worker goroutines poll OK for an early abort.
+type Ctx struct {
+	metered bool
+	budget  int64
+	work    atomic.Int64
+
+	clock    func() float64
+	deadline float64 // clock value after which the token stops
+	limit    float64 // the configured deadline span, for messages
+
+	info atomic.Pointer[stopInfo]
+}
+
+// New returns a token enforcing a step budget: Step charges against it and
+// reports false once it is exhausted. budget <= 0 disables metering — the
+// token is then unlimited but still cancellable and deadline-capable.
+func New(budget int64) *Ctx {
+	c := &Ctx{}
+	if budget > 0 {
+		c.metered = true
+		c.budget = budget
+		c.work.Store(budget)
+	}
+	return c
+}
+
+// WithDeadline arms a wall-clock deadline limit seconds from now, read
+// through clock — WallClock() in production, an injected virtual clock in
+// tests. Wall-clock deadlines are inherently non-deterministic; prefer a
+// step budget wherever byte-reproducible output matters. Returns c.
+func (c *Ctx) WithDeadline(clock func() float64, limit float64) *Ctx {
+	if c == nil || clock == nil || limit <= 0 {
+		return c
+	}
+	c.clock = clock
+	c.limit = limit
+	c.deadline = clock() + limit
+	return c
+}
+
+// Step charges n units of work and reports whether execution may continue.
+// Checkpoints charge at deterministic points with deterministic amounts
+// (packets scanned, combinations materialized, DP states expanded), so the
+// stopping point of a budgeted run never depends on scheduling.
+func (c *Ctx) Step(n int64) bool {
+	if c == nil {
+		return true
+	}
+	if c.info.Load() != nil {
+		return false
+	}
+	if c.metered && c.work.Add(-n) < 0 {
+		c.stop(CodeDeadline, fmt.Sprintf("work budget of %d steps exhausted", c.budget))
+		return false
+	}
+	return c.checkDeadline()
+}
+
+// OK reports whether execution may continue, without charging work. Worker
+// goroutines use it to abort speculative work early; because they never
+// charge, their polling cannot move the deterministic stopping point.
+func (c *Ctx) OK() bool {
+	if c == nil {
+		return true
+	}
+	if c.info.Load() != nil {
+		return false
+	}
+	return c.checkDeadline()
+}
+
+func (c *Ctx) checkDeadline() bool {
+	if c.clock != nil && c.clock() > c.deadline {
+		c.stop(CodeDeadline, fmt.Sprintf("wall-clock deadline of %gs exceeded", c.limit))
+		return false
+	}
+	return true
+}
+
+// Cancel stops the token with an external reason (first stop wins).
+func (c *Ctx) Cancel(reason string) {
+	if c == nil {
+		return
+	}
+	if reason == "" {
+		reason = "cancelled"
+	}
+	c.stop(CodeCancelled, reason)
+}
+
+func (c *Ctx) stop(code, detail string) {
+	c.info.CompareAndSwap(nil, &stopInfo{code: code, detail: detail})
+}
+
+// Stopped reports whether the token has stopped for any reason.
+func (c *Ctx) Stopped() bool {
+	return c != nil && c.info.Load() != nil
+}
+
+// Code returns the structured warning code of the stop (CodeDeadline or
+// CodeCancelled), or "" while running.
+func (c *Ctx) Code() string {
+	if c == nil {
+		return ""
+	}
+	if s := c.info.Load(); s != nil {
+		return s.code
+	}
+	return ""
+}
+
+// Reason returns the human-readable stop detail, or "" while running.
+func (c *Ctx) Reason() string {
+	if c == nil {
+		return ""
+	}
+	if s := c.info.Load(); s != nil {
+		return s.detail
+	}
+	return ""
+}
+
+// Err returns nil while the token runs and a *StopError once it stopped.
+func (c *Ctx) Err() error {
+	if c == nil {
+		return nil
+	}
+	if s := c.info.Load(); s != nil {
+		return &StopError{Code: s.code, Detail: s.detail}
+	}
+	return nil
+}
+
+// StopError is the typed error form of a stopped token.
+type StopError struct {
+	Code   string
+	Detail string
+}
+
+func (e *StopError) Error() string {
+	return fmt.Sprintf("guard: %s: %s", e.Code, e.Detail)
+}
+
+// PanicError is a contained panic: the panic value plus the stack of the
+// goroutine that panicked, captured at recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("guard: contained panic: %v", e.Value)
+}
+
+// AsPanicError wraps a recovered value. Values that are already contained
+// pass through unchanged, so a worker panic re-raised on the committing
+// goroutine keeps the stack of the goroutine that actually panicked.
+func AsPanicError(r any) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}
+
+// Capture converts a panic unwinding through the deferring function into a
+// *PanicError assigned to *errp. Use with named results:
+//
+//	func Infer(...) (inf *Inference, err error) {
+//	    defer guard.Capture(&err)
+//	    ...
+func Capture(errp *error) {
+	if r := recover(); r != nil {
+		*errp = AsPanicError(r)
+	}
+}

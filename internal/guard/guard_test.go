@@ -1,0 +1,169 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilCtxNeverStops(t *testing.T) {
+	var c *Ctx
+	if !c.Step(1_000_000) || !c.OK() {
+		t.Fatal("nil Ctx must allow all work")
+	}
+	c.Cancel("ignored")
+	if c.Stopped() || c.Code() != "" || c.Reason() != "" || c.Err() != nil {
+		t.Fatal("nil Ctx must report running forever")
+	}
+}
+
+func TestUnmeteredCtx(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 100; i++ {
+		if !c.Step(1 << 40) {
+			t.Fatal("unmetered Ctx must not stop on work")
+		}
+	}
+	if c.Stopped() {
+		t.Fatal("unmetered Ctx stopped")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	c := New(10)
+	if !c.Step(4) || !c.Step(4) {
+		t.Fatal("stopped before budget exhausted")
+	}
+	if !c.Step(2) {
+		// Charging exactly to zero still allows continuation; only
+		// crossing below zero stops.
+		t.Fatal("charging to exactly zero must not stop")
+	}
+	if c.Step(1) {
+		t.Fatal("exceeding budget must stop")
+	}
+	if !c.Stopped() || c.Code() != CodeDeadline {
+		t.Fatalf("Code = %q, want %q", c.Code(), CodeDeadline)
+	}
+	if !strings.Contains(c.Reason(), "work budget of 10 steps") {
+		t.Fatalf("Reason = %q", c.Reason())
+	}
+	var se *StopError
+	if err := c.Err(); !errors.As(err, &se) || se.Code != CodeDeadline {
+		t.Fatalf("Err = %v", c.Err())
+	}
+	if c.OK() || c.Step(0) {
+		t.Fatal("stopped Ctx must reject further work")
+	}
+}
+
+func TestDeterministicStopPoint(t *testing.T) {
+	// Same charge sequence -> same stop index, regardless of how often
+	// OK() is polled in between (OK never charges).
+	stopAt := func(polls int) int {
+		c := New(100)
+		for i := 0; ; i++ {
+			for j := 0; j < polls; j++ {
+				c.OK()
+			}
+			if !c.Step(7) {
+				return i
+			}
+		}
+	}
+	if a, b := stopAt(0), stopAt(50); a != b {
+		t.Fatalf("stop index depends on OK polling: %d vs %d", a, b)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	now := 0.0
+	c := New(0).WithDeadline(func() float64 { return now }, 5)
+	if !c.Step(1) || !c.OK() {
+		t.Fatal("stopped before deadline")
+	}
+	now = 5.1
+	if c.OK() {
+		t.Fatal("OK past deadline")
+	}
+	if c.Code() != CodeDeadline || !strings.Contains(c.Reason(), "wall-clock deadline") {
+		t.Fatalf("code=%q reason=%q", c.Code(), c.Reason())
+	}
+}
+
+func TestCancelFirstStopWins(t *testing.T) {
+	c := New(1)
+	c.Cancel("drain requested")
+	c.Step(100) // would exhaust the budget, but cancel already stopped it
+	if c.Code() != CodeCancelled || c.Reason() != "drain requested" {
+		t.Fatalf("code=%q reason=%q", c.Code(), c.Reason())
+	}
+	c2 := New(0)
+	c2.Cancel("")
+	if c2.Reason() != "cancelled" {
+		t.Fatalf("empty cancel reason = %q", c2.Reason())
+	}
+}
+
+func TestConcurrentStep(t *testing.T) {
+	c := New(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c.Step(1) {
+			}
+		}()
+	}
+	wg.Wait()
+	if !c.Stopped() || c.Code() != CodeDeadline {
+		t.Fatalf("concurrent exhaustion: stopped=%v code=%q", c.Stopped(), c.Code())
+	}
+}
+
+func TestCaptureAndPanicError(t *testing.T) {
+	boom := func() (err error) {
+		defer Capture(&err)
+		panic("kaboom")
+	}
+	err := boom()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Capture returned %T, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "contained panic: kaboom") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+}
+
+func TestAsPanicErrorPassthrough(t *testing.T) {
+	orig := &PanicError{Value: "inner", Stack: []byte("worker stack")}
+	outer := func() (err error) {
+		defer Capture(&err)
+		// Re-raise on another goroutine's behalf, as the mux commit
+		// loop does for contained worker panics.
+		panic(orig) //csi-vet:ignore nakedpanic -- test re-raises a contained panic
+	}
+	var pe *PanicError
+	if err := outer(); !errors.As(err, &pe) || pe != orig {
+		t.Fatal("re-raised *PanicError must pass through unchanged")
+	}
+	if string(pe.Stack) != "worker stack" {
+		t.Fatal("original stack must be preserved")
+	}
+}
+
+func TestCaptureNoPanic(t *testing.T) {
+	fn := func() (err error) {
+		defer Capture(&err)
+		return nil
+	}
+	if err := fn(); err != nil {
+		t.Fatalf("Capture without panic altered err: %v", err)
+	}
+}

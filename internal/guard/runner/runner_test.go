@@ -1,0 +1,247 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csi/internal/guard"
+	"csi/internal/obs"
+	"csi/internal/testleak"
+)
+
+func noSleep(time.Duration) {}
+
+func TestRunOrderAndStats(t *testing.T) {
+	testleak.Check(t)
+	var order []string
+	var mu sync.Mutex
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		name := fmt.Sprintf("t%d", i)
+		tasks[i] = Task{Name: name, Run: func(*guard.Ctx) error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	res, st := Run(tasks, Policy{Workers: 4, Sleep: noSleep})
+	if len(res) != 10 || len(order) != 10 {
+		t.Fatalf("ran %d tasks, results %d", len(order), len(res))
+	}
+	for i, r := range res {
+		if r.Name != fmt.Sprintf("t%d", i) || r.Err != nil || r.Attempts != 1 {
+			t.Fatalf("result[%d] = %+v", i, r)
+		}
+	}
+	if st.Completed != 10 || st.Failed != 0 || st.Retries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPanicContainedSiblingsComplete(t *testing.T) {
+	testleak.Check(t)
+	var completed atomic.Int64
+	tasks := []Task{
+		{Name: "ok-1", Run: func(*guard.Ctx) error { completed.Add(1); return nil }},
+		{Name: "boom", Run: func(*guard.Ctx) error { panic("poisoned session") }},
+		{Name: "ok-2", Run: func(*guard.Ctx) error { completed.Add(1); return nil }},
+	}
+	tr := obs.New(nil, obs.NewCollector())
+	res, st := Run(tasks, Policy{Workers: 1, Retries: 3, Sleep: noSleep, Obs: tr})
+	if completed.Load() != 2 {
+		t.Fatalf("siblings completed = %d, want 2", completed.Load())
+	}
+	var pe *guard.PanicError
+	if !errors.As(res[1].Err, &pe) || pe.Value != "poisoned session" {
+		t.Fatalf("res[1].Err = %v, want contained panic", res[1].Err)
+	}
+	if !res[1].Panicked || res[1].Attempts != 1 {
+		t.Fatalf("panics must not retry: %+v", res[1])
+	}
+	if st.Panics != 1 || st.Completed != 2 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if v := tr.Metrics().Counter("runner.panics").Value(); v != 1 {
+		t.Fatalf("runner.panics = %d", v)
+	}
+}
+
+func TestRetryDeterministicBackoff(t *testing.T) {
+	testleak.Check(t)
+	run := func() (int, []time.Duration) {
+		var sleeps []time.Duration
+		var mu sync.Mutex
+		fails := 0
+		tasks := []Task{{Name: "flaky", Run: func(*guard.Ctx) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if fails < 2 {
+				fails++
+				return errors.New("transient")
+			}
+			return nil
+		}}}
+		res, _ := Run(tasks, Policy{Retries: 3, BackoffSeed: 42,
+			Sleep: func(d time.Duration) {
+				mu.Lock()
+				sleeps = append(sleeps, d)
+				mu.Unlock()
+			}})
+		if res[0].Err != nil {
+			t.Fatalf("flaky task should succeed on attempt 3: %v", res[0].Err)
+		}
+		return res[0].Attempts, sleeps
+	}
+	att1, s1 := run()
+	att2, s2 := run()
+	if att1 != 3 || att2 != 3 {
+		t.Fatalf("attempts = %d, %d; want 3", att1, att2)
+	}
+	if len(s1) != 2 || len(s2) != 2 {
+		t.Fatalf("sleep counts = %d, %d; want 2", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("backoff not deterministic: %v vs %v", s1, s2)
+		}
+	}
+	// Exponential envelope: delay i is in [base, 2*base).
+	for i, d := range s1 {
+		base := 10 * time.Millisecond << i
+		if d < base || d >= 2*base {
+			t.Fatalf("sleep[%d] = %v outside [%v, %v)", i, d, base, 2*base)
+		}
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	testleak.Check(t)
+	tasks := []Task{{Name: "always-bad", Run: func(*guard.Ctx) error {
+		return errors.New("persistent")
+	}}}
+	res, st := Run(tasks, Policy{Retries: 2, Sleep: noSleep})
+	if res[0].Attempts != 3 || res[0].Err == nil {
+		t.Fatalf("result = %+v", res[0])
+	}
+	if st.Retries != 2 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWorkBudgetStopsTask(t *testing.T) {
+	testleak.Check(t)
+	tasks := []Task{{Name: "heavy", Run: func(g *guard.Ctx) error {
+		for g.Step(1) {
+		}
+		return g.Err()
+	}}}
+	res, _ := Run(tasks, Policy{WorkBudget: 100, Sleep: noSleep, Retries: 0})
+	var se *guard.StopError
+	if !errors.As(res[0].Err, &se) || se.Code != guard.CodeDeadline {
+		t.Fatalf("res.Err = %v, want budget StopError", res[0].Err)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	testleak.Check(t)
+	var runs atomic.Int64
+	mk := func(i int) Task {
+		return Task{Name: fmt.Sprintf("cell/%d", i), Key: "cell", Run: func(*guard.Ctx) error {
+			runs.Add(1)
+			return errors.New("bad cell")
+		}}
+	}
+	tasks := []Task{mk(0), mk(1), mk(2), mk(3)}
+	tr := obs.New(nil, obs.NewCollector())
+	res, st := Run(tasks, Policy{Workers: 1, QuarantineAfter: 2, Sleep: noSleep, Obs: tr})
+	if runs.Load() != 2 {
+		t.Fatalf("quarantined key still ran %d times, want 2", runs.Load())
+	}
+	if !res[2].Quarantined || !res[3].Quarantined {
+		t.Fatalf("tail tasks not quarantined: %+v, %+v", res[2], res[3])
+	}
+	if !errors.Is(res[2].Err, ErrQuarantined) {
+		t.Fatalf("res[2].Err = %v", res[2].Err)
+	}
+	if st.Quarantined != 2 || st.Failed != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if v := tr.Metrics().Counter("runner.quarantines").Value(); v != 2 {
+		t.Fatalf("runner.quarantines = %d", v)
+	}
+}
+
+func TestInterruptDrainCancelsMidFlight(t *testing.T) {
+	testleak.Check(t)
+	interrupt := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	slow := func(g *guard.Ctx) error {
+		once.Do(func() { close(started) })
+		// Spin until the interrupt cancels our guard; a hung task would
+		// time the test out instead of draining.
+		for g.OK() {
+		}
+		return g.Err()
+	}
+	tasks := []Task{
+		{Name: "slow-0", Run: slow},
+		{Name: "slow-1", Run: slow},
+		{Name: "late", Run: func(*guard.Ctx) error { return nil }},
+	}
+	go func() {
+		<-started
+		close(interrupt)
+	}()
+	res, st := Run(tasks, Policy{Workers: 2, Interrupt: interrupt, Sleep: noSleep, Retries: 5})
+	for _, i := range []int{0, 1} {
+		if !res[i].Cancelled {
+			t.Fatalf("res[%d] not cancelled: %+v", i, res[i])
+		}
+		if res[i].Attempts > 1 {
+			t.Fatalf("cancelled task retried: %+v", res[i])
+		}
+	}
+	// The third task either never started (ErrInterrupted) or was
+	// dispatched concurrently with the interrupt and drained cancelled.
+	if res[2].Err == nil {
+		t.Fatalf("task after interrupt completed: %+v", res[2])
+	}
+	if st.Cancelled != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInterruptNeverFiredNoLeak(t *testing.T) {
+	testleak.Check(t)
+	interrupt := make(chan struct{}) // never closed
+	tasks := []Task{{Name: "quick", Run: func(*guard.Ctx) error { return nil }}}
+	res, _ := Run(tasks, Policy{Interrupt: interrupt, Sleep: noSleep})
+	if res[0].Err != nil {
+		t.Fatalf("res = %+v", res[0])
+	}
+	// testleak.Check asserts the watcher goroutine exited.
+}
+
+func TestBackoffDeterminismAcrossTasks(t *testing.T) {
+	a := Backoff(7, "task-a", 0)
+	b := Backoff(7, "task-a", 0)
+	c := Backoff(7, "task-b", 0)
+	if a != b {
+		t.Fatalf("same inputs differ: %v vs %v", a, b)
+	}
+	if a == c {
+		t.Log("jitter collision across names (allowed but unlikely)")
+	}
+	if a < 10*time.Millisecond || a >= 20*time.Millisecond {
+		t.Fatalf("attempt-0 backoff %v outside [10ms, 20ms)", a)
+	}
+	if d := Backoff(7, "task-a", 20); d >= 2*640*time.Millisecond {
+		t.Fatalf("capped backoff too large: %v", d)
+	}
+}

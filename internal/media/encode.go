@@ -246,13 +246,3 @@ func Encode(c EncodeConfig) (*Manifest, error) {
 	}
 	return man, nil
 }
-
-// MustEncode is Encode that panics on error; for tests and examples with
-// known-good configurations.
-func MustEncode(c EncodeConfig) *Manifest {
-	m, err := Encode(c)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}

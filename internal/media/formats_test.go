@@ -9,7 +9,7 @@ import (
 )
 
 func TestMPDRoundTrip(t *testing.T) {
-	m := MustEncode(EncodeConfig{Name: "rt", Seed: 8, DurationSec: 120, ChunkDur: 5, TargetPASR: 1.4, AudioTracks: 1})
+	m := encodeT(t, EncodeConfig{Name: "rt", Seed: 8, DurationSec: 120, ChunkDur: 5, TargetPASR: 1.4, AudioTracks: 1})
 	var buf bytes.Buffer
 	if err := WriteMPD(&buf, m); err != nil {
 		t.Fatal(err)
@@ -85,7 +85,7 @@ func TestMPDRejectsGarbage(t *testing.T) {
 }
 
 func TestHLSRoundTrip(t *testing.T) {
-	m := MustEncode(EncodeConfig{Name: "hls", Seed: 9, DurationSec: 100, ChunkDur: 5, TargetPASR: 1.3, AudioTracks: 1})
+	m := encodeT(t, EncodeConfig{Name: "hls", Seed: 9, DurationSec: 100, ChunkDur: 5, TargetPASR: 1.3, AudioTracks: 1})
 	var master bytes.Buffer
 	if err := WriteHLSMaster(&master, m); err != nil {
 		t.Fatal(err)
@@ -212,4 +212,15 @@ func TestFetchHLSHeadFallback(t *testing.T) {
 	if _, err := FetchHLS(strings.NewReader(master), "x", "h", fetch, nil); err == nil {
 		t.Fatal("rangeless playlist without HEAD resolver accepted")
 	}
+}
+
+// encodeT builds a known-good manifest, failing the test on error (package
+// media cannot import mediatest without a cycle).
+func encodeT(t *testing.T, c EncodeConfig) *Manifest {
+	t.Helper()
+	m, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }

@@ -1,0 +1,22 @@
+// Package mediatest provides test helpers for building media fixtures.
+// It exists so tests fail through the testing API instead of panicking:
+// production code must never encode a manifest it cannot validate, so the
+// library exposes only the error-returning media.Encode.
+package mediatest
+
+import (
+	"testing"
+
+	"csi/internal/media"
+)
+
+// Encode builds a manifest from a known-good configuration, failing the
+// test on error.
+func Encode(tb testing.TB, c media.EncodeConfig) *media.Manifest {
+	tb.Helper()
+	m, err := media.Encode(c)
+	if err != nil {
+		tb.Fatalf("mediatest: encode %q: %v", c.Name, err)
+	}
+	return m
+}

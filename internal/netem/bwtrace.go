@@ -178,7 +178,7 @@ func GenerateCellular(cfg CellularConfig) *BandwidthTrace {
 	}
 	tr, err := NewTrace(pts)
 	if err != nil {
-		panic("netem: internal generator error: " + err.Error())
+		panic("netem: internal generator error: " + err.Error()) //csi-vet:ignore nakedpanic -- generator-internal invariant: NewTrace of a well-formed point set cannot fail
 	}
 	return tr
 }

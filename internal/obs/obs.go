@@ -71,6 +71,15 @@ func Int(key string, v int64) Field { return Field{Key: key, Kind: FieldInt, Int
 // Float builds a float field.
 func Float(key string, v float64) Field { return Field{Key: key, Kind: FieldFloat, Float: v} }
 
+// Err builds a string field from an error; a nil error renders empty.
+func Err(key string, err error) Field {
+	f := Field{Key: key, Kind: FieldStr}
+	if err != nil {
+		f.Str = err.Error()
+	}
+	return f
+}
+
 // RecordKind is the type of a trace record.
 type RecordKind uint8
 

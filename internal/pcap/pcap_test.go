@@ -7,6 +7,7 @@ import (
 
 	"csi/internal/core"
 	"csi/internal/media"
+	"csi/internal/media/mediatest"
 	"csi/internal/netem"
 	"csi/internal/packet"
 	"csi/internal/session"
@@ -193,7 +194,7 @@ func TestReadRejectsGarbage(t *testing.T) {
 // enough for wireshark-level inspection. (TLS classification is not
 // preserved: the writer zero-fills payloads.)
 func TestWriteReadRoundTrip(t *testing.T) {
-	man := media.MustEncode(media.EncodeConfig{
+	man := mediatest.Encode(t, media.EncodeConfig{
 		Name: "p", Seed: 3, DurationSec: 120, ChunkDur: 5, TargetPASR: 1.3,
 	})
 	res, err := session.Run(session.Config{
@@ -243,7 +244,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 // reader (or Wireshark) can attribute connections to hostnames, and the
 // written ClientHello parses as genuine TLS.
 func TestWrittenPcapCarriesHostnames(t *testing.T) {
-	man := media.MustEncode(media.EncodeConfig{
+	man := mediatest.Encode(t, media.EncodeConfig{
 		Name: "p2", Seed: 4, DurationSec: 120, ChunkDur: 5, TargetPASR: 1.3,
 	})
 	res, err := session.Run(session.Config{

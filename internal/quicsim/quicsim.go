@@ -308,7 +308,7 @@ func (ep *Endpoint) longPacket(payload int64) *packet.Packet {
 // the peer has received the stream contiguously through the message end.
 func (ep *Endpoint) Write(sid int64, n int64, onDelivered func(now float64)) {
 	if n <= 0 {
-		panic("quicsim: Write of non-positive length")
+		panic("quicsim: Write of non-positive length") //csi-vet:ignore nakedpanic -- API-misuse assertion in the simulator harness
 	}
 	st := ep.streams[sid]
 	if st == nil {

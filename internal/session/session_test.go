@@ -5,19 +5,20 @@ import (
 
 	"csi/internal/abr"
 	"csi/internal/media"
+	"csi/internal/media/mediatest"
 	"csi/internal/netem"
 )
 
 func combinedManifest(t *testing.T) *media.Manifest {
 	t.Helper()
-	return media.MustEncode(media.EncodeConfig{
+	return mediatest.Encode(t, media.EncodeConfig{
 		Name: "t", Seed: 11, DurationSec: 300, ChunkDur: 5, TargetPASR: 1.4,
 	})
 }
 
 func separateManifest(t *testing.T) *media.Manifest {
 	t.Helper()
-	return media.MustEncode(media.EncodeConfig{
+	return mediatest.Encode(t, media.EncodeConfig{
 		Name: "t", Seed: 11, DurationSec: 300, ChunkDur: 5, TargetPASR: 1.4, AudioTracks: 1,
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"csi/internal/core"
 	"csi/internal/media"
+	"csi/internal/media/mediatest"
 	"csi/internal/netem"
 	"csi/internal/qoe"
 	"csi/internal/session"
@@ -15,7 +16,7 @@ func testManifest(t *testing.T) *media.Manifest {
 	ladder := []media.Rung{
 		{Bitrate: 250_000}, {Bitrate: 650_000}, {Bitrate: 1_500_000}, {Bitrate: 3_000_000},
 	}
-	return media.MustEncode(media.EncodeConfig{
+	return mediatest.Encode(t, media.EncodeConfig{
 		Name: "shape", Seed: 21, DurationSec: 600, ChunkDur: 5, TargetPASR: 1.3, Ladder: ladder,
 	})
 }

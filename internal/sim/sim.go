@@ -113,10 +113,10 @@ func (e *Engine) SetEventLimit(n int64) { e.maxEvt = n }
 // past.
 func (e *Engine) At(t float64, fn func()) *Event {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling into the past: t=%g now=%g", t, e.now))
+		panic(fmt.Sprintf("sim: scheduling into the past: t=%g now=%g", t, e.now)) //csi-vet:ignore nakedpanic -- scheduling into the past is a simulator bug, not a recoverable state
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
-		panic(fmt.Sprintf("sim: invalid event time %g", t))
+		panic(fmt.Sprintf("sim: invalid event time %g", t)) //csi-vet:ignore nakedpanic -- NaN/Inf event times corrupt the event queue ordering
 	}
 	e.seq++
 	ev := &Event{at: t, seq: e.seq, fn: fn}
@@ -144,7 +144,7 @@ func (e *Engine) Step() bool {
 		ev.fn = nil
 		e.fired++
 		if e.maxEvt > 0 && e.fired > e.maxEvt {
-			panic("sim: event limit exceeded")
+			panic("sim: event limit exceeded") //csi-vet:ignore nakedpanic -- the event limit exists to abort runaway simulations
 		}
 		if e.tr != nil {
 			e.cFired.Inc()

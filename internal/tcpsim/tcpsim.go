@@ -239,7 +239,7 @@ func (ep *Endpoint) SetSNI(host string, end int64) {
 // message.
 func (ep *Endpoint) Write(n int64, onDelivered func(now float64)) {
 	if n <= 0 {
-		panic("tcpsim: Write of non-positive length")
+		panic("tcpsim: Write of non-positive length") //csi-vet:ignore nakedpanic -- API-misuse assertion in the simulator harness
 	}
 	ep.sndTotal += n
 	if onDelivered != nil {

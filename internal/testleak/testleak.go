@@ -1,0 +1,37 @@
+// Package testleak asserts that a test leaves no goroutines behind. It is
+// deliberately tiny: snapshot the goroutine count at Check, and at cleanup
+// poll until the count returns to the baseline or the retry budget runs
+// out, then fail with a full stack dump. The polling loop is bounded by
+// iteration count, not wall-clock reads, so it stays inside the
+// determinism rules.
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check registers a cleanup that fails tb if the goroutine count at test
+// end stays above the count observed now. Call it at the top of the test,
+// before starting any pools. Not meaningful under t.Parallel, where
+// sibling tests shift the global count.
+func Check(tb testing.TB) {
+	tb.Helper()
+	base := runtime.NumGoroutine()
+	tb.Cleanup(func() {
+		// Pools close their done channels before their goroutines fully
+		// exit; give the scheduler a bounded number of chances to retire
+		// them before declaring a leak.
+		for i := 0; i < 300; i++ {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		tb.Errorf("testleak: %d goroutines at cleanup, want <= %d; stacks:\n%s",
+			runtime.NumGoroutine(), base, buf[:n])
+	})
+}

@@ -78,7 +78,7 @@ func WireSize(n int64) int64 {
 // when the last record byte has been received in order.
 func (s *Stream) Write(n int64, kind Kind, onDelivered func(now float64)) {
 	if n <= 0 {
-		panic("tlssim: Write of non-positive length")
+		panic("tlssim: Write of non-positive length") //csi-vet:ignore nakedpanic -- API-misuse assertion in the simulator harness
 	}
 	payload := n
 	var total, records int64

@@ -4,12 +4,13 @@ import (
 	"testing"
 
 	"csi/internal/media"
+	"csi/internal/media/mediatest"
 	"csi/internal/stats"
 )
 
 func encodePASR(t *testing.T, pasr float64) *media.Manifest {
 	t.Helper()
-	return media.MustEncode(media.EncodeConfig{
+	return mediatest.Encode(t, media.EncodeConfig{
 		Name: "u", Seed: 31, DurationSec: 600, ChunkDur: 5, TargetPASR: pasr,
 	})
 }

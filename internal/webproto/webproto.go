@@ -54,7 +54,7 @@ func NewHTTPSFetcher(sess *tlssim.Session, man *media.Manifest, seed int64) *HTT
 // Fetch implements Fetcher.
 func (f *HTTPSFetcher) Fetch(ref media.ChunkRef, done func(now float64)) {
 	if f.outstanding {
-		panic(fmt.Sprintf("webproto: pipelined request for chunk %+v on HTTPS connection", ref))
+		panic(fmt.Sprintf("webproto: pipelined request for chunk %+v on HTTPS connection", ref)) //csi-vet:ignore nakedpanic -- HTTP/1.1 pipelining is unsupported by design; this is a harness bug
 	}
 	f.outstanding = true
 	f.Requests++

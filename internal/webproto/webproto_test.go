@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"csi/internal/media"
+	"csi/internal/media/mediatest"
 	"csi/internal/netem"
 	"csi/internal/packet"
 	"csi/internal/quicsim"
@@ -14,7 +15,7 @@ import (
 
 func testManifest(t *testing.T) *media.Manifest {
 	t.Helper()
-	return media.MustEncode(media.EncodeConfig{
+	return mediatest.Encode(t, media.EncodeConfig{
 		Name: "wp", Seed: 5, DurationSec: 100, ChunkDur: 5, TargetPASR: 1.3, AudioTracks: 1,
 	})
 }

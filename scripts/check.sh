@@ -61,6 +61,12 @@ echo "== capture decoder fuzz smoke"
 go test -run='^$' -fuzz='^FuzzReadJSON$' -fuzztime=5s ./internal/capture > /dev/null
 go test -run='^$' -fuzz='^FuzzReadBinary$' -fuzztime=5s ./internal/capture > /dev/null
 
+echo "== fault spec parser fuzz smoke"
+# Same treatment for the -faults flag grammar: the seeded corpus replays in
+# go test; the smoke exercises the mutation engine against the parser's
+# no-panic / finite-values / canonical-roundtrip contract.
+go test -run='^$' -fuzz='^FuzzParseSpec$' -fuzztime=5s ./internal/faults > /dev/null
+
 echo "== fault injection byte determinism vs committed goldens"
 # Same seed + same impairment spec must give byte-identical impaired runs
 # through the real binary, and the degraded inference over an impaired
@@ -76,6 +82,14 @@ go run ./cmd/csi-analyze -manifest "$obstmp/man.json" -run "$obstmp/run.json" -f
     -trace-out "$obstmp/fault.trace.jsonl" -metrics "$obstmp/fault.metrics.txt" > /dev/null
 cmp "$obstmp/fault.trace.jsonl" testdata/obs/fault.infer.trace.jsonl
 cmp "$obstmp/fault.metrics.txt" testdata/obs/fault.infer.metrics.txt
+
+echo "== bounded inference smoke (tiny work budget)"
+# A one-step work budget must truncate the inference into a *partial*
+# result — exit 0, a structured deadline_exceeded warning on stdout —
+# never a hard error (DESIGN.md §10). Uses the quickstart run from above.
+go run ./cmd/csi-analyze -manifest "$obstmp/man.json" -run "$obstmp/run.json" \
+    -work-budget 1 > "$obstmp/budget.out"
+grep -q 'deadline_exceeded' "$obstmp/budget.out"
 
 echo "== degradation sweep smoke"
 # One tiny sweep (1 video x 1 trace, clean + one loss level) end to end; the
