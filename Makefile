@@ -13,7 +13,7 @@ test:
 
 vet:
 	go vet ./...
-	go run ./cmd/csi-vet ./...
+	go run ./cmd/csi-vet -strict-ignores ./...
 
 race:
 	go test -race ./...

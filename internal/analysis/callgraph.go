@@ -1,0 +1,390 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the module-wide static call graph the interprocedural
+// rules (taint, spawnbound) share through Module.Graph. Nodes are the
+// canonical *types.Func objects of every function and method declared in
+// the module; function literals have no node of their own — their bodies
+// are attributed to the enclosing declared function, which makes closures
+// flow naturally (a closure handed to a worker pool is charged to the
+// function that wrote it, wherever it is eventually invoked from).
+//
+// Edges are deliberately conservative in the CSI direction (a missing
+// edge can hide nondeterminism; a spurious edge only costs an audit):
+//
+//   - EdgeCall:     a static call to a declared function or method.
+//   - EdgeDispatch: a call through an interface method, expanded to every
+//     module type whose method set satisfies the interface (the dispatch
+//     fallback — we cannot know the dynamic type, so we assume all).
+//   - EdgeRef:      a reference to a function or method value outside call
+//     position (passed as an argument, assigned, launched via go/defer).
+//     Whoever receives the value may call it, so the referencing function
+//     is treated as a potential caller.
+//
+// Go statements additionally record spawn sites on the enclosing node for
+// the goroutine-budget rule.
+
+// EdgeKind classifies a call edge.
+type EdgeKind int
+
+const (
+	EdgeCall EdgeKind = iota
+	EdgeDispatch
+	EdgeRef
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeDispatch:
+		return "dispatch"
+	case EdgeRef:
+		return "ref"
+	}
+	return "?"
+}
+
+// An Edge is one caller->callee relation, positioned at the call or
+// reference site.
+type Edge struct {
+	Callee *types.Func
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// A Node is one declared function or method of the module.
+type Node struct {
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Edges lists the node's outgoing edges in source order, deduplicated
+	// by (callee, kind).
+	Edges []Edge
+	// Spawns are the positions of go statements in the body (including
+	// inside nested function literals).
+	Spawns []token.Pos
+}
+
+// A Graph is the module-wide call graph.
+type Graph struct {
+	// nodes maps the canonical function object to its node.
+	nodes map[*types.Func]*Node
+	// order lists nodes deterministically: by package import path, then
+	// declaration position.
+	order []*Node
+}
+
+// Node returns the node for fn (resolved through Origin for generic
+// instantiations), or nil if fn is not declared in the module.
+func (g *Graph) Node(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// Nodes returns every node in deterministic order.
+func (g *Graph) Nodes() []*Node { return g.order }
+
+// FuncName renders fn for diagnostics: pkgname.Func, or
+// pkgname.(*Recv).Method for methods.
+func FuncName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		ptr := ""
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+			ptr = "*"
+		}
+		if named, ok := rt.(*types.Named); ok {
+			name = "(" + ptr + named.Obj().Name() + ")." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+func buildGraph(pkgs []*Package) *Graph {
+	g := &Graph{nodes: map[*types.Func]*Node{}}
+
+	// Pass 1: a node per declared function/method.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Fn: fn, Pkg: pkg, Decl: fd}
+				g.nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		a, b := g.order[i], g.order[j]
+		if a.Pkg.ImportPath != b.Pkg.ImportPath {
+			return a.Pkg.ImportPath < b.Pkg.ImportPath
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+
+	ifaces := newIfaceIndex(pkgs)
+
+	// Pass 2: edges and spawn sites.
+	for _, n := range g.order {
+		addEdges(g, n, ifaces)
+	}
+	return g
+}
+
+func addEdges(g *Graph, n *Node, ifaces *ifaceIndex) {
+	info := n.Pkg.Info
+	seen := map[Edge]bool{} // keyed without Pos for dedup
+	add := func(callee *types.Func, pos token.Pos, kind EdgeKind) {
+		if callee == nil {
+			return
+		}
+		callee = callee.Origin()
+		if _, inModule := g.nodes[callee]; !inModule {
+			return
+		}
+		key := Edge{Callee: callee, Kind: kind}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		n.Edges = append(n.Edges, Edge{Callee: callee, Pos: pos, Kind: kind})
+	}
+
+	// Identifiers in call position get call edges; all other references to
+	// function objects get ref edges. Collect call positions first, and
+	// remember selector .Sel identifiers so the SelectorExpr case handles
+	// them exactly once.
+	callFun := map[ast.Expr]bool{}
+	selSel := map[*ast.Ident]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			callFun[ast.Unparen(node.Fun)] = true
+		case *ast.SelectorExpr:
+			selSel[node.Sel] = true
+		}
+		return true
+	})
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			n.Spawns = append(n.Spawns, node.Pos())
+		case *ast.Ident:
+			if selSel[node] {
+				return true
+			}
+			fn, ok := info.Uses[node].(*types.Func)
+			if !ok {
+				return true
+			}
+			if callFun[node] {
+				add(fn, node.Pos(), EdgeCall)
+			} else {
+				add(fn, node.Pos(), EdgeRef)
+			}
+		case *ast.SelectorExpr:
+			fn, ok := info.Uses[node.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			kind := EdgeRef
+			if callFun[node] {
+				kind = EdgeCall
+			}
+			if recvIface := ifaceOf(fn); recvIface != nil {
+				// A call (or method value) through an interface: fall back
+				// to every module implementation.
+				for _, impl := range ifaces.implementations(recvIface, fn.Name()) {
+					add(impl, node.Sel.Pos(), EdgeDispatch)
+				}
+				return true
+			}
+			add(fn, node.Sel.Pos(), kind)
+		}
+		return true
+	})
+}
+
+// ifaceOf returns the interface type fn is declared on, or nil for
+// concrete functions and methods.
+func ifaceOf(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// ifaceIndex resolves interface method calls to the module types that
+// implement them.
+type ifaceIndex struct {
+	named []*types.Named
+	cache map[ifaceKey][]*types.Func
+}
+
+type ifaceKey struct {
+	iface  *types.Interface
+	method string
+}
+
+func newIfaceIndex(pkgs []*Package) *ifaceIndex {
+	ix := &ifaceIndex{cache: map[ifaceKey][]*types.Func{}}
+	for _, pkg := range pkgs {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			ix.named = append(ix.named, named)
+		}
+	}
+	sort.Slice(ix.named, func(i, j int) bool {
+		a, b := ix.named[i], ix.named[j]
+		if ap, bp := a.Obj().Pkg().Path(), b.Obj().Pkg().Path(); ap != bp {
+			return ap < bp
+		}
+		return a.Obj().Name() < b.Obj().Name()
+	})
+	return ix
+}
+
+// implementations returns the concrete module methods a call to
+// iface.method may dispatch to, in deterministic order.
+func (ix *ifaceIndex) implementations(iface *types.Interface, method string) []*types.Func {
+	key := ifaceKey{iface, method}
+	if impls, ok := ix.cache[key]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, named := range ix.named {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), method)
+		if fn, ok := obj.(*types.Func); ok {
+			impls = append(impls, fn)
+		}
+	}
+	ix.cache[key] = impls
+	return impls
+}
+
+// A PathStep is one hop of a call path reconstructed from a reachability
+// search: the function reached and the call-site position in its caller.
+type PathStep struct {
+	Fn  *types.Func
+	Pos token.Pos // call site in the parent; NoPos for roots
+}
+
+// reach is the result of a multi-root BFS: parent pointers for every
+// function reachable from the roots.
+type reach struct {
+	parent map[*types.Func]Edge        // reached fn -> incoming edge
+	from   map[*types.Func]*types.Func // reached fn -> caller (nil for roots)
+}
+
+// ReachableFrom runs a breadth-first search from roots (in the given
+// order, which makes exemplar paths deterministic) and returns the parent
+// forest. Roots not declared in the module are skipped.
+func (g *Graph) ReachableFrom(roots []*types.Func) *reach {
+	r := &reach{parent: map[*types.Func]Edge{}, from: map[*types.Func]*types.Func{}}
+	var queue []*types.Func
+	for _, root := range roots {
+		root = root.Origin()
+		if g.nodes[root] == nil {
+			continue
+		}
+		if _, ok := r.from[root]; ok {
+			continue
+		}
+		r.from[root] = nil
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, e := range g.nodes[fn].Edges {
+			if _, ok := r.from[e.Callee]; ok {
+				continue
+			}
+			r.from[e.Callee] = fn
+			r.parent[e.Callee] = e
+			queue = append(queue, e.Callee)
+		}
+	}
+	return r
+}
+
+// Contains reports whether fn was reached.
+func (r *reach) Contains(fn *types.Func) bool {
+	_, ok := r.from[fn.Origin()]
+	return ok
+}
+
+// Path reconstructs the root-to-fn call path as PathSteps; nil if fn was
+// not reached.
+func (r *reach) Path(fn *types.Func) []PathStep {
+	fn = fn.Origin()
+	if _, ok := r.from[fn]; !ok {
+		return nil
+	}
+	var rev []PathStep
+	for cur := fn; cur != nil; {
+		e, hasParent := r.parent[cur]
+		step := PathStep{Fn: cur}
+		if hasParent {
+			step.Pos = e.Pos
+		}
+		rev = append(rev, step)
+		cur = r.from[cur]
+	}
+	out := make([]PathStep, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// FormatPath renders a call path as "a -> b -> c" using FuncName.
+func FormatPath(steps []PathStep) string {
+	var b []byte
+	for i, s := range steps {
+		if i > 0 {
+			b = append(b, " -> "...)
+		}
+		b = append(b, FuncName(s.Fn)...)
+	}
+	return string(b)
+}

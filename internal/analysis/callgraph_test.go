@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// loadCallgraph loads the callgraph fixture once and returns its module
+// graph plus the package for object lookups.
+func loadCallgraph(t *testing.T) (*Graph, *Package) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "callgraph"))
+	if err != nil {
+		t.Fatalf("loading callgraph fixture: %v", err)
+	}
+	mod := NewModule([]*Package{pkg})
+	return mod.Graph(), pkg
+}
+
+// fixtureFunc resolves a top-level function by name.
+func fixtureFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("fixture has no function %q", name)
+	}
+	return fn
+}
+
+// fixtureMethod resolves a method by receiver type and name.
+func fixtureMethod(t *testing.T, pkg *Package, recv, name string) *types.Func {
+	t.Helper()
+	tn, ok := pkg.Pkg.Scope().Lookup(recv).(*types.TypeName)
+	if !ok {
+		t.Fatalf("fixture has no type %q", recv)
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pkg.Pkg, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("fixture type %s has no method %q", recv, name)
+	}
+	return fn
+}
+
+// edgeTo returns the first edge from caller to callee, if any.
+func edgeTo(g *Graph, caller, callee *types.Func) (Edge, bool) {
+	n := g.Node(caller)
+	if n == nil {
+		return Edge{}, false
+	}
+	for _, e := range n.Edges {
+		if e.Callee == callee.Origin() {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+func TestCallGraphStaticCalls(t *testing.T) {
+	g, pkg := loadCallgraph(t)
+	cases := []struct{ caller, callee string }{
+		{"PassedAsArg", "apply"},
+		{"Spawner", "worker"},
+	}
+	for _, c := range cases {
+		e, ok := edgeTo(g, fixtureFunc(t, pkg, c.caller), fixtureFunc(t, pkg, c.callee))
+		if !ok {
+			t.Errorf("missing edge %s -> %s", c.caller, c.callee)
+			continue
+		}
+		if e.Kind != EdgeCall {
+			t.Errorf("edge %s -> %s has kind %v, want call", c.caller, c.callee, e.Kind)
+		}
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g, pkg := loadCallgraph(t)
+	announce := fixtureFunc(t, pkg, "Announce")
+	for _, recv := range []string{"Dog", "Cat"} {
+		e, ok := edgeTo(g, announce, fixtureMethod(t, pkg, recv, "Speak"))
+		if !ok {
+			t.Errorf("missing dispatch edge Announce -> %s.Speak", recv)
+			continue
+		}
+		if e.Kind != EdgeDispatch {
+			t.Errorf("edge Announce -> %s.Speak has kind %v, want dispatch", recv, e.Kind)
+		}
+	}
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	g, pkg := loadCallgraph(t)
+	e, ok := edgeTo(g, fixtureFunc(t, pkg, "MethodValue"), fixtureMethod(t, pkg, "Dog", "Speak"))
+	if !ok {
+		t.Fatal("missing edge MethodValue -> Dog.Speak for the bound method value")
+	}
+	if e.Kind != EdgeRef {
+		t.Errorf("method value edge has kind %v, want ref", e.Kind)
+	}
+}
+
+func TestCallGraphClosureAttribution(t *testing.T) {
+	g, pkg := loadCallgraph(t)
+	closure := fixtureFunc(t, pkg, "Closure")
+	if _, ok := edgeTo(g, closure, fixtureFunc(t, pkg, "helper")); !ok {
+		t.Error("call inside a nested FuncLit not attributed to the enclosing Closure")
+	}
+	if g.Node(closure) == nil || len(g.Node(closure).Spawns) != 0 {
+		t.Error("Closure should have a node and no spawn sites")
+	}
+}
+
+func TestCallGraphFuncValueArgument(t *testing.T) {
+	g, pkg := loadCallgraph(t)
+	e, ok := edgeTo(g, fixtureFunc(t, pkg, "PassedAsArg"), fixtureFunc(t, pkg, "double"))
+	if !ok {
+		t.Fatal("missing conservative ref edge PassedAsArg -> double")
+	}
+	if e.Kind != EdgeRef {
+		t.Errorf("func-value argument edge has kind %v, want ref", e.Kind)
+	}
+}
+
+func TestCallGraphSpawnSites(t *testing.T) {
+	g, pkg := loadCallgraph(t)
+	n := g.Node(fixtureFunc(t, pkg, "Spawner"))
+	if n == nil {
+		t.Fatal("Spawner has no node")
+	}
+	if len(n.Spawns) != 1 {
+		t.Fatalf("Spawner records %d spawn sites, want 1", len(n.Spawns))
+	}
+}
+
+func TestCallGraphPaths(t *testing.T) {
+	g, pkg := loadCallgraph(t)
+	roots := []*types.Func{fixtureFunc(t, pkg, "PassedAsArg")}
+	r := g.ReachableFrom(roots)
+	dbl := fixtureFunc(t, pkg, "double")
+	if !r.Contains(dbl) {
+		t.Fatal("double not reachable from PassedAsArg")
+	}
+	if got := FormatPath(r.Path(dbl)); got != "callgraph.PassedAsArg -> callgraph.double" {
+		t.Errorf("path = %q", got)
+	}
+	if r.Contains(fixtureFunc(t, pkg, "helper")) {
+		t.Error("helper should not be reachable from PassedAsArg")
+	}
+}

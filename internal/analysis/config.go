@@ -19,6 +19,19 @@ import (
 type Config struct {
 	Scope map[string][]string
 	Allow map[string][]string
+
+	// confAllows records the provenance of allow entries parsed from a
+	// conf file (file + line), with usage tracking for the
+	// stale-suppression audit. Built-in policy entries are not audited.
+	confAllows []*confAllow
+}
+
+// confAllow is one "allow <rule> <path>" directive from a conf file.
+type confAllow struct {
+	Rule, Path string
+	File       string
+	Line       int
+	used       bool
 }
 
 // DefaultConfig returns the repository policy: every rule is restricted to
@@ -36,6 +49,9 @@ func DefaultConfig() *Config {
 			"errcheck":    library,
 			"maporder":    library,
 			"nakedpanic":  {"internal/"},
+			"taint":       library,
+			"sharedmut":   library,
+			"spawnbound":  library,
 		},
 		Allow: map[string][]string{},
 	}
@@ -55,16 +71,26 @@ func (c *Config) inScope(rule, relDir string) bool {
 	return false
 }
 
-// allowed reports whether file relFile is exempt from rule.
+// allowed reports whether file relFile is exempt from rule, marking any
+// matching conf-file entries used for the stale-suppression audit. Not
+// safe for concurrent use; the engine filters serially.
 func (c *Config) allowed(rule, relFile string) bool {
+	hit := false
 	for _, r := range []string{rule, "all"} {
 		for _, a := range c.Allow[r] {
 			if matchPath(a, relFile) {
-				return true
+				hit = true
 			}
 		}
 	}
-	return false
+	if hit {
+		for _, ca := range c.confAllows {
+			if (ca.Rule == rule || ca.Rule == "all") && matchPath(ca.Path, relFile) {
+				ca.used = true
+			}
+		}
+	}
+	return hit
 }
 
 // matchPath matches pattern against a slash-separated module-relative
@@ -112,6 +138,9 @@ func ParseConfig(cfg *Config, text, filename string) error {
 		switch directive {
 		case "allow":
 			cfg.Allow[rule] = append(cfg.Allow[rule], path)
+			cfg.confAllows = append(cfg.confAllows, &confAllow{
+				Rule: rule, Path: path, File: filename, Line: i + 1,
+			})
 		case "scope":
 			cfg.Scope[rule] = append(cfg.Scope[rule], path)
 		default:

@@ -63,7 +63,13 @@ func isKeyCollection(rng *ast.RangeStmt) bool {
 	return ok && arg.Name == key.Name
 }
 
-type orderSite struct{ what string }
+// orderSite describes why a map range is order-sensitive; target is the
+// outer object appended to (nil for output writes), which the taint
+// engine's sort-after-collect sanitizer keys on.
+type orderSite struct {
+	what   string
+	target types.Object
+}
 
 // orderSensitiveStmt scans a loop body for statements whose effect
 // escapes one iteration in an order-dependent way: appends to a slice
@@ -96,7 +102,13 @@ func orderSensitiveStmt(info *types.Info, rng *ast.RangeStmt) *orderSite {
 		case *ast.Ident:
 			if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" &&
 				len(call.Args) > 0 && !declaredInside(call.Args[0]) {
-				found = &orderSite{what: "appends to a slice"}
+				site := &orderSite{what: "appends to a slice"}
+				if id := rootIdent(call.Args[0]); id != nil {
+					if obj := info.Uses[id]; obj != nil {
+						site.target = obj
+					}
+				}
+				found = site
 			}
 		case *ast.SelectorExpr:
 			fn, ok := info.Uses[fun.Sel].(*types.Func)

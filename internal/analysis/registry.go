@@ -10,6 +10,9 @@ var All = []*Analyzer{
 	Errcheck,
 	Maporder,
 	Nakedpanic,
+	Taint,
+	Sharedmut,
+	Spawnbound,
 }
 
 // ByName returns the registered analyzers with the given names; unknown

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Sharedmut flags goroutine bodies that mutate variables captured from
+// the enclosing function without a recognized safety idiom. Such writes
+// race under `go test -race` only when the schedule happens to collide;
+// statically they are always wrong in this codebase, because every
+// concurrent structure here (the mux search pool, the supervised runner)
+// commits shared state through one of two idioms the rule recognizes:
+//
+//   - the slot idiom: each goroutine writes only its own element of a
+//     pre-sized slice or array (results[i] = ...), and the caller reads
+//     after Wait — index writes to slices/arrays are exempt;
+//   - the mutex idiom: the goroutine takes a lock before writing —
+//     writes preceded by a .Lock()/.RLock() call in the same goroutine
+//     body are exempt.
+//
+// Map element writes get no slot exemption: Go maps are not safe for
+// concurrent writes even to distinct keys, so they must use the mutex
+// idiom. Channel sends, sync/atomic calls, and writes to variables
+// declared inside the goroutine are out of scope by construction.
+var Sharedmut = &Analyzer{
+	Name: "sharedmut",
+	Doc:  "flag goroutine-captured variables mutated without the slot, mutex, or commit-order idiom",
+	Run:  runSharedmut,
+}
+
+func runSharedmut(pass *Pass) {
+	pass.inspect(func(n ast.Node) bool {
+		gost, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gost.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true // `go f(...)` passes arguments by value; f cannot capture
+		}
+		checkGoroutineBody(pass, lit)
+		return true
+	})
+}
+
+func checkGoroutineBody(pass *Pass, lit *ast.FuncLit) {
+	info := pass.Info
+
+	// Positions of lock acquisitions inside the goroutine body. The
+	// heuristic is positional (a Lock call textually before the write),
+	// which accepts slightly more than a scope-accurate analysis would;
+	// the race detector backstops the difference.
+	var lockPos []token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if name := sel.Sel.Name; name == "Lock" || name == "RLock" {
+				lockPos = append(lockPos, call.Pos())
+			}
+		}
+		return true
+	})
+	lockedBefore := func(pos token.Pos) bool {
+		for _, lp := range lockPos {
+			if lp < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	declaredInsideLit := func(e ast.Expr) (types.Object, bool) {
+		id := rootIdent(e)
+		if id == nil {
+			return nil, true // unresolvable root: give the benefit of the doubt
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return nil, true
+		}
+		return obj, obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+	}
+
+	checkWrite := func(target ast.Expr, pos token.Pos) {
+		obj, inside := declaredInsideLit(target)
+		if inside {
+			return
+		}
+		// Slot idiom: writes through an index into a captured slice or
+		// array (including fields of the indexed element). Map element
+		// writes are never slot-safe.
+		if ix := innermostIndex(target); ix != nil {
+			switch info.TypeOf(ix.X).Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Pointer:
+				return
+			case *types.Map:
+				if !lockedBefore(pos) {
+					pass.Reportf(pos, "goroutine writes captured map %q without holding a lock; maps are unsafe for concurrent writes — use the mutex idiom", obj.Name())
+				}
+				return
+			}
+		}
+		if !lockedBefore(pos) {
+			pass.Reportf(pos, "goroutine mutates captured variable %q without a lock; commit through the slot idiom (own index of a pre-sized slice) or hold a mutex", obj.Name())
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				checkWrite(lhs, n.TokPos)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X, n.TokPos)
+		}
+		return true
+	})
+}
+
+// innermostIndex strips selectors, stars, and parens off a write target
+// and returns the index expression it goes through, if any:
+// results[i].Field -> results[i].
+func innermostIndex(e ast.Expr) *ast.IndexExpr {
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

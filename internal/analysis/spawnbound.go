@@ -1,0 +1,42 @@
+package analysis
+
+// Spawnbound flags goroutine spawns reachable from the inference entry
+// points. The inference hot path has exactly one sanctioned concurrency
+// structure: the bounded mux-search worker pool (semaphore-capped,
+// guard-polled, committing in submission order). Any other `go` statement
+// on a path from core.Infer (or the root csi facade) bypasses the worker
+// budget and the guard's cancellation discipline — under a
+// million-flow monitor that is an unbounded goroutine leak per flow.
+//
+// The rule walks the shared call graph from the exported functions of
+// internal/core and the root package and reports every reachable spawn
+// site with its call path. Sanctioned pool implementations carry a
+// "//csi-vet:ignore spawnbound -- <why bounded>" comment, which makes the
+// suppression inventory a complete audit of inference-path concurrency.
+var Spawnbound = &Analyzer{
+	Name:      "spawnbound",
+	Doc:       "flag goroutine spawns reachable from core inference entry points outside the bounded worker pool",
+	RunModule: runSpawnbound,
+}
+
+// spawnRootPaths are the module-relative package dirs whose exported
+// functions root the reachability search.
+var spawnRootPaths = []string{".", "internal/core"}
+
+func runSpawnbound(pass *ModulePass) {
+	mod := pass.Mod
+	g := mod.Graph()
+	roots := exportedFuncs(mod, spawnRootPaths)
+	r := g.ReachableFrom(roots)
+
+	for _, n := range g.Nodes() {
+		if len(n.Spawns) == 0 || !r.Contains(n.Fn) {
+			continue
+		}
+		path := r.Path(n.Fn)
+		for _, pos := range n.Spawns {
+			pass.Reportf(pos, "goroutine spawned on an inference path (reachable from exported %s: %s); route the work through the bounded pool or annotate with //csi-vet:ignore spawnbound -- <why bounded>",
+				FuncName(path[0].Fn), FormatPath(path))
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// IgnorePrefix starts a line-level suppression comment:
+//
+//	//csi-vet:ignore <rule>[,<rule>...] [-- reason]
+//
+// The comment suppresses matching findings on its own line and on the
+// line directly below it (so it works both as a trailing comment and as a
+// directive above the offending statement). The special rule name "all"
+// suppresses every rule.
+const IgnorePrefix = "csi-vet:ignore"
+
+// An ignoreDirective is one parsed //csi-vet:ignore comment, with usage
+// tracking for the stale-suppression audit.
+type ignoreDirective struct {
+	file   string
+	line   int
+	col    int
+	rules  []string
+	reason string
+	used   map[string]bool // rule -> suppressed at least one finding
+}
+
+// suppressionIndex indexes every ignore directive of a module by the
+// file:line keys it covers.
+type suppressionIndex struct {
+	directives []*ignoreDirective
+	byKey      map[string][]*ignoreDirective
+}
+
+// buildIgnoreIndex parses the //csi-vet:ignore comments of every file.
+func buildIgnoreIndex(pkgs []*Package) *suppressionIndex {
+	ix := &suppressionIndex{byKey: map[string][]*ignoreDirective{}}
+	for _, pkg := range pkgs {
+		for i, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+					rest, ok := strings.CutPrefix(text, IgnorePrefix)
+					if !ok {
+						continue
+					}
+					reason := ""
+					if parts := strings.SplitN(rest, "--", 2); len(parts) == 2 {
+						rest, reason = parts[0], strings.TrimSpace(parts[1])
+					}
+					var rules []string
+					for _, r := range strings.Split(strings.TrimSpace(rest), ",") {
+						if r = strings.TrimSpace(r); r != "" {
+							rules = append(rules, r)
+						}
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					d := &ignoreDirective{
+						file:   pkg.Filenames[i],
+						line:   pos.Line,
+						col:    pos.Column,
+						rules:  rules,
+						reason: reason,
+						used:   map[string]bool{},
+					}
+					ix.directives = append(ix.directives, d)
+					for _, off := range []int{0, 1} {
+						key := fmt.Sprintf("%s:%d", d.file, d.line+off)
+						ix.byKey[key] = append(ix.byKey[key], d)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(ix.directives, func(i, j int) bool {
+		a, b := ix.directives[i], ix.directives[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		return a.line < b.line
+	})
+	return ix
+}
+
+// suppress reports whether d is covered by an ignore directive, marking
+// the directive used.
+func (ix *suppressionIndex) suppress(d Diagnostic) bool {
+	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+	hit := false
+	for _, dir := range ix.byKey[key] {
+		for _, r := range dir.rules {
+			if r == d.Rule || r == "all" {
+				dir.used[r] = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// StaleRule is the pseudo-rule stale-suppression reports are filed under.
+const StaleRule = "suppression"
+
+// staleSuppressions reports every suppression that did nothing: an ignore
+// directive rule (or a conf allow entry) that ran in scope but matched no
+// finding, and directive rules that name no registered rule at all. Rules
+// that were not part of this run are skipped — their suppressions cannot
+// be judged — and so are conf allow entries whose target package was not
+// loaded (a subset run like "csi-vet internal/core" must not condemn
+// allowlist entries for packages it never analyzed).
+func staleSuppressions(ix *suppressionIndex, cfg *Config, ran map[string]bool, loadedDirs map[string]bool) []Diagnostic {
+	registered := map[string]bool{"all": true}
+	for _, az := range All {
+		registered[az.Name] = true
+	}
+	ranAll := true
+	for _, az := range All {
+		if !ran[az.Name] {
+			ranAll = false
+			break
+		}
+	}
+
+	var out []Diagnostic
+	report := func(pos Diagnostic, format string, args ...any) {
+		pos.Rule = StaleRule
+		pos.Msg = fmt.Sprintf(format, args...)
+		out = append(out, pos)
+	}
+	for _, dir := range ix.directives {
+		at := Diagnostic{}
+		at.Pos.Filename, at.Pos.Line, at.Pos.Column = dir.file, dir.line, dir.col
+		for _, r := range dir.rules {
+			switch {
+			case !registered[r]:
+				report(at, "ignore comment names unknown rule %q; delete or fix it", r)
+			case r == "all" && !ranAll, r != "all" && !ran[r]:
+				// Rule not exercised this run; cannot judge.
+			case dir.used[r]:
+				// Live suppression.
+			default:
+				report(at, "stale ignore comment: rule %q no longer reports here; delete it", r)
+			}
+		}
+	}
+	covered := func(pathStr string) bool {
+		p := strings.TrimSuffix(pathStr, "/")
+		if strings.HasSuffix(pathStr, "/") {
+			for d := range loadedDirs {
+				if d == p || strings.HasPrefix(d, p+"/") {
+					return true
+				}
+			}
+			return false
+		}
+		return loadedDirs[path.Dir(p)]
+	}
+	for _, ca := range cfg.confAllows {
+		switch {
+		case !registered[ca.Rule]:
+			at := Diagnostic{}
+			at.Pos.Filename, at.Pos.Line, at.Pos.Column = ca.File, ca.Line, 1
+			report(at, "allow entry names unknown rule %q; delete or fix it", ca.Rule)
+		case ca.Rule == "all" && !ranAll, ca.Rule != "all" && !ran[ca.Rule]:
+		case !covered(ca.Path):
+			// Target package not part of this run; cannot judge.
+		case ca.used:
+		default:
+			at := Diagnostic{}
+			at.Pos.Filename, at.Pos.Line, at.Pos.Column = ca.File, ca.Line, 1
+			report(at, "stale allow entry: rule %q no longer reports under %q; delete it", ca.Rule, ca.Path)
+		}
+	}
+	return sortDiagnostics(out)
+}
+
+// suppressionInventory flattens every suppression into the audited
+// inventory records the JSON output archives.
+func suppressionInventory(ix *suppressionIndex, cfg *Config) []SuppressionRecord {
+	var out []SuppressionRecord
+	for _, dir := range ix.directives {
+		for _, r := range dir.rules {
+			out = append(out, SuppressionRecord{
+				Kind:   "ignore",
+				File:   dir.file,
+				Line:   dir.line,
+				Rule:   r,
+				Reason: dir.reason,
+				Active: dir.used[r],
+			})
+		}
+	}
+	for _, ca := range cfg.confAllows {
+		out = append(out, SuppressionRecord{
+			Kind:   "allow",
+			File:   ca.File,
+			Line:   ca.Line,
+			Rule:   ca.Rule,
+			Path:   ca.Path,
+			Active: ca.used,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Taint is the interprocedural nondeterminism verifier. Where the
+// determinism rule flags banned calls one site at a time, taint walks the
+// module call graph and reports every *source* of nondeterminism that an
+// exported inference or reporting entry point can reach — as a full
+// entry-to-source call path, so a helper wrapping time.Now three frames
+// below core.Infer is just as visible as a direct call.
+//
+// Sources:
+//   - wall clock reads (time.Now/Since/Until)
+//   - process environment reads (os.Getenv/LookupEnv/Environ)
+//   - the implicitly seeded global math/rand(/v2) source
+//   - filesystem enumeration order (os.ReadDir, filepath.Walk/WalkDir/
+//     Glob, (*os.File).Readdir*)
+//   - order-sensitive iteration over Go's randomized maps
+//   - goroutine-completion order: select statements with more than one
+//     communication clause (which case fires depends on scheduling)
+//
+// Sanitizers (recognized structurally, so they need no annotations):
+//   - explicitly seeded *rand.Rand sources (methods are never sources;
+//     only the global top-level functions are)
+//   - the collect-keys-then-sort idiom, and more generally a map-range
+//     append whose slice is sorted later in the same function
+//   - single-clause (blocking) channel receives — the submission-order
+//     commit idiom of the parallel mux search
+//   - virtual time (obs clocks and guard step budgets never read the wall
+//     clock, so they simply contain no sources)
+//
+// Sinks are the exported functions and methods of the packages everything
+// reproducible rests on: the root csi package, internal/core,
+// internal/experiments, and internal/obs (whose exporters write the
+// goldens). A surviving path means a same-seed rerun can produce
+// different bytes; fix the source or annotate it with
+// "//csi-vet:ignore taint -- <why this is deterministic or deliberate>".
+var Taint = &Analyzer{
+	Name:      "taint",
+	Doc:       "trace nondeterminism sources (clock/env/rand/map/FS/select order) reaching exported inference APIs through the call graph",
+	RunModule: runTaint,
+}
+
+// taintSinkPaths are the module-relative package dirs whose exported
+// functions are treated as determinism sinks.
+var taintSinkPaths = []string{".", "internal/core", "internal/experiments", "internal/obs"}
+
+// A taintSource is one nondeterminism source site inside a module function.
+type taintSource struct {
+	node   *Node
+	pos    token.Pos
+	kind   string // "wall clock" etc., for the message
+	detail string // the offending call / construct
+}
+
+func runTaint(pass *ModulePass) {
+	mod := pass.Mod
+	g := mod.Graph()
+
+	var sources []taintSource
+	for _, n := range g.Nodes() {
+		sources = append(sources, scanSources(n)...)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i].pos < sources[j].pos })
+
+	roots := exportedFuncs(mod, taintSinkPaths)
+	r := g.ReachableFrom(roots)
+
+	for _, src := range sources {
+		if !r.Contains(src.node.Fn) {
+			continue
+		}
+		path := r.Path(src.node.Fn)
+		pass.Reportf(src.pos, "%s (%s) reachable from exported %s: %s; derive the value from inputs/virtual time or annotate with //csi-vet:ignore taint -- <reason>",
+			src.kind, src.detail, FuncName(path[0].Fn), FormatPath(path))
+	}
+}
+
+// exportedFuncs returns the exported functions and methods of every
+// module package whose RelPath matches one of paths, in deterministic
+// order (package, then declaration position).
+func exportedFuncs(mod *Module, paths []string) []*types.Func {
+	match := func(rel string) bool {
+		for _, p := range paths {
+			if matchPath(p, rel) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*types.Func
+	for _, n := range mod.Graph().Nodes() {
+		if !match(n.Pkg.RelPath) {
+			continue
+		}
+		if n.Fn.Exported() {
+			out = append(out, n.Fn)
+		}
+	}
+	return out
+}
+
+// fsOrderFuncs are package-level functions whose results reflect ambient
+// filesystem state (content and, for the walkers, order).
+var fsOrderFuncs = map[string]map[string]string{
+	"os":            {"ReadDir": "enumerates the live filesystem"},
+	"path/filepath": {"Walk": "enumerates the live filesystem", "WalkDir": "enumerates the live filesystem", "Glob": "enumerates the live filesystem"},
+}
+
+// fsOrderMethods are methods with the same property (receiver type name is
+// matched loosely on *os.File).
+var fsOrderMethods = map[string]bool{"Readdir": true, "Readdirnames": true, "ReadDir": true}
+
+// scanSources finds every nondeterminism source in n's body, including
+// inside nested function literals (attributed to n).
+func scanSources(n *Node) []taintSource {
+	info := n.Pkg.Info
+	var out []taintSource
+	add := func(pos token.Pos, kind, detail string) {
+		out = append(out, taintSource{node: n, pos: pos, kind: kind, detail: detail})
+	}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.SelectorExpr:
+			fn, ok := info.Uses[node.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			pkgPath, name := fn.Pkg().Path(), fn.Name()
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if fsOrderMethods[name] && isOSFile(sig.Recv().Type()) {
+					add(node.Sel.Pos(), "filesystem enumeration", pkgPath+".File."+name)
+				}
+				return true // methods on seeded sources etc. are sanctioned
+			}
+			if _, banned := forbiddenFuncs[pkgPath][name]; banned {
+				kind := "wall clock read"
+				if pkgPath == "os" {
+					kind = "environment read"
+				}
+				add(node.Sel.Pos(), kind, pkgPath+"."+name)
+				return true
+			}
+			if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name] {
+				add(node.Sel.Pos(), "global random source", pkgPath+"."+name)
+				return true
+			}
+			if _, ok := fsOrderFuncs[pkgPath][name]; ok {
+				add(node.Sel.Pos(), "filesystem enumeration", pkgPath+"."+name)
+			}
+		case *ast.RangeStmt:
+			if src := mapOrderSource(info, n.Decl.Body, node); src != nil {
+				add(node.For, "map iteration order", src.what)
+			}
+		case *ast.SelectStmt:
+			if len(node.Body.List) > 1 {
+				add(node.Select, "goroutine completion order", fmt.Sprintf("select with %d cases", len(node.Body.List)))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isOSFile(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}
+
+// mapOrderSource reports rng as a map-order source unless a sanitizer
+// applies: the key-collection idiom, or the appended slice being sorted
+// later in the same function body.
+func mapOrderSource(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt) *orderSite {
+	if t := info.TypeOf(rng.X); t == nil {
+		return nil
+	} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	if isKeyCollection(rng) {
+		return nil
+	}
+	site := orderSensitiveStmt(info, rng)
+	if site == nil {
+		return nil
+	}
+	if site.target != nil && sortedAfter(info, body, rng.End(), site.target) {
+		return nil
+	}
+	return site
+}
+
+// sortFuncs are the stdlib sorters the sort-after-collect sanitizer
+// recognizes (first argument is the slice being sorted).
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether body contains, after pos, a recognized sort
+// call whose first argument is rooted at target.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos, target types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !sortFuncs[fn.Pkg().Path()][fn.Name()] {
+			return true
+		}
+		if id := rootIdent(call.Args[0]); id != nil && info.Uses[id] == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

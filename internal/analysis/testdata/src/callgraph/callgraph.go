@@ -1,0 +1,59 @@
+// Package callgraph is the fixture for the call-graph unit tests: static
+// calls, method values, interface dispatch, closures, and function values
+// passed as arguments.
+package callgraph
+
+type Speaker interface {
+	Speak() string
+}
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{ name string }
+
+func (c *Cat) Speak() string { return c.name }
+
+// Announce calls through the interface: dispatch edges to both impls.
+func Announce(s Speaker) string {
+	return s.Speak()
+}
+
+// MethodValue takes a bound method as a value (ref edge to Dog.Speak).
+func MethodValue(d Dog) func() string {
+	return d.Speak
+}
+
+// Closure calls a helper from inside a nested literal; the edge is
+// attributed to Closure itself.
+func Closure() int {
+	f := func() int {
+		return helper()
+	}
+	return f()
+}
+
+func helper() int { return 1 }
+
+// PassedAsArg hands a named function to a combinator (ref edge).
+func PassedAsArg(xs []int) int {
+	return apply(xs, double)
+}
+
+func apply(xs []int, f func(int) int) int {
+	total := 0
+	for _, x := range xs {
+		total += f(x)
+	}
+	return total
+}
+
+func double(x int) int { return 2 * x }
+
+// Spawner records a spawn site and a call edge to the spawned function.
+func Spawner() {
+	go worker()
+}
+
+func worker() {}

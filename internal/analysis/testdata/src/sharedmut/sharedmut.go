@@ -1,0 +1,111 @@
+// Package sharedmut seeds violations and near-misses for the
+// goroutine-capture mutation rule.
+package sharedmut
+
+import "sync"
+
+// bad: captured scalar mutated from goroutines without a lock.
+func racyCounter(n int) int {
+	var wg sync.WaitGroup
+	count := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count++ // captured scalar, no lock
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// bad: captured slice grown (not slot-written) from goroutines.
+func racyAppend(xs []int) []int {
+	var wg sync.WaitGroup
+	var out []int
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			out = append(out, x*2) // append races on len and backing array
+		}(x)
+	}
+	wg.Wait()
+	return out
+}
+
+// bad: captured map written without a lock (distinct keys still race).
+func racyMap(keys []string) map[string]bool {
+	var wg sync.WaitGroup
+	seen := map[string]bool{}
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			seen[k] = true // concurrent map write
+		}(k)
+	}
+	wg.Wait()
+	return seen
+}
+
+// good: slot idiom — each goroutine owns one pre-sized element.
+func slotted(xs []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i, x int) {
+			defer wg.Done()
+			out[i] = x * 2
+		}(i, x)
+	}
+	wg.Wait()
+	return out
+}
+
+// good: mutex idiom — captured state written under a lock.
+func locked(keys []string) map[string]bool {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			mu.Lock()
+			seen[k] = true
+			mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+	return seen
+}
+
+// good: goroutine-local state never escapes an iteration.
+func local(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			acc := 0
+			acc += x
+			_ = acc
+		}(x)
+	}
+	wg.Wait()
+}
+
+// good: results flow back over a channel, not shared memory.
+func channelled(xs []int) int {
+	ch := make(chan int, len(xs))
+	for _, x := range xs {
+		go func(x int) { ch <- x * 2 }(x)
+	}
+	total := 0
+	for range xs {
+		total += <-ch
+	}
+	return total
+}

@@ -1,0 +1,59 @@
+// Package spawnbound seeds violations and near-misses for the
+// goroutine-budget rule. Under LoadDir the package path is ".", so its
+// exported functions root the reachability search.
+package spawnbound
+
+import "sync"
+
+// Infer is an inference entry point; the unbounded spawn hides two
+// frames below it.
+func Infer(xs []int) int {
+	return process(xs)
+}
+
+func process(xs []int) int {
+	total := 0
+	for range xs {
+		total += fanOut()
+	}
+	return total
+}
+
+func fanOut() int {
+	ch := make(chan int)
+	go func() { // unbounded spawn on the inference path
+		ch <- 1
+	}()
+	return <-ch
+}
+
+// Search spawns through a sanctioned, annotated pool.
+func Search(xs []int) int {
+	return pooled(xs)
+}
+
+func pooled(xs []int) int {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	res := make([]int, len(xs))
+	for i := range xs {
+		wg.Add(1)
+		sem <- struct{}{}
+		//csi-vet:ignore spawnbound -- fixture: semaphore-capped pool committing by slot
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			res[i] = xs[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range res {
+		total += v
+	}
+	return total
+}
+
+// helper spawns, but nothing exported reaches it.
+func orphanSpawn() {
+	go func() {}()
+}

@@ -1,0 +1,131 @@
+// Package taint seeds violations and near-misses for the interprocedural
+// nondeterminism taint rule. The package path is "." under LoadDir, so
+// every exported function here is a sink.
+package taint
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// --- violations -----------------------------------------------------------
+
+// Report is a sink; the wall clock hides two frames below it.
+func Report() string {
+	return gather()
+}
+
+func gather() string {
+	return stamp()
+}
+
+func stamp() string {
+	return time.Now().String() // multi-hop wall clock
+}
+
+// Summarize is a sink; an order-sensitive map range hides one frame down.
+func Summarize(m map[string]int) []string {
+	return collect(m)
+}
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // map order leaks into out
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// Shuffle is a sink using the global rand source through a helper.
+func Shuffle(xs []int) {
+	mix(xs)
+}
+
+func mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Configured is a sink reading the environment through a helper.
+func Configured() bool {
+	return debugEnabled()
+}
+
+func debugEnabled() bool {
+	return os.Getenv("CSI_DEBUG") != "" // environment read
+}
+
+// List is a sink; the filesystem enumeration hides below it.
+func List(dir string) int {
+	return count(dir)
+}
+
+func count(dir string) int {
+	ents, _ := os.ReadDir(dir) // filesystem enumeration
+	return len(ents)
+}
+
+// Merge is a sink; the racy select hides below it.
+func Merge(a, b <-chan int) int {
+	return firstOf(a, b)
+}
+
+func firstOf(a, b <-chan int) int {
+	select { // completion order decides the result
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// --- compliant near-misses (must stay silent) -----------------------------
+
+// SortedSummarize collects from a map but sorts before returning.
+func SortedSummarize(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Keys uses the collect-keys-then-sort idiom.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Seeded draws from an explicitly seeded source: methods are sanctioned.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Await does a single blocking receive — the submission-order commit
+// idiom, not a race.
+func Await(done <-chan int) int {
+	return <-done
+}
+
+// unreachable wraps the wall clock but no sink can reach it.
+func unreachable() time.Time { //nolint:unused
+	return time.Now()
+}
+
+// Audited reaches the wall clock, but the source carries a reasoned
+// ignore directive.
+func Audited() string {
+	return auditedStamp()
+}
+
+func auditedStamp() string {
+	return time.Now().String() //csi-vet:ignore taint -- fixture: deliberate wall-clock latency measurement
+}

@@ -108,7 +108,7 @@ func (t *Trace) FallbackConnIDs(hostSuffix string) []int {
 		}
 	}
 	var top int64
-	//csi-vet:ignore maporder -- max reduction is order independent
+	// Max reduction: order independent, so no maporder concern.
 	for _, b := range down {
 		if b > top {
 			top = b

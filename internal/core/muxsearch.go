@@ -719,6 +719,7 @@ func (ms *muxSearch) groupCandidates(grp Group, nReq, gi int, wildcard bool, adm
 			j := jobs[launched]
 			j.done = make(chan struct{})
 			wg.Add(1)
+			//csi-vet:ignore spawnbound -- semaphore-bounded pool (ms.workers slots); results commit in submission order at the cursor
 			go func(j *windowJob) {
 				defer wg.Done()
 				sem <- struct{}{}

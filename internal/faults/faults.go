@@ -317,7 +317,8 @@ func applyCross(pkts []packet.View, orig *capture.Trace, spec Spec, rep *Report)
 			maxConn = v.ConnID
 		}
 	}
-	//csi-vet:ignore maporder -- first-match lookup keyed by host equality, not ordered iteration
+	// First-match lookup keyed by host equality — any match yields the
+	// same ip, so iteration order cannot leak.
 	for id, sni := range orig.SNI {
 		if sni == host {
 			if a, ok := orig.ServerIP[id]; ok {
@@ -388,7 +389,7 @@ func dominantSNI(tr *capture.Trace) string {
 		counts[sni]++
 	}
 	best, bestN := "", 0
-	//csi-vet:ignore maporder -- max selection with lexicographic tie-break is order-independent
+	// Max selection with a lexicographic tie-break: order independent.
 	for sni, n := range counts {
 		if n > bestN || (n == bestN && sni < best) {
 			best, bestN = sni, n

@@ -146,6 +146,7 @@ func Run(tasks []Task, pol Policy) ([]Result, Stats) {
 	defer close(done)
 	if pol.Interrupt != nil {
 		go func() {
+			//csi-vet:ignore taint -- interrupt delivery is inherently asynchronous; it only cancels guards, results still commit in submission order
 			select {
 			case <-pol.Interrupt:
 				mu.Lock()
