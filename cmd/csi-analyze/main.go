@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"csi/internal/capture"
 	"csi/internal/core"
@@ -24,6 +25,7 @@ import (
 	"csi/internal/guard"
 	"csi/internal/media"
 	"csi/internal/obs"
+	"csi/internal/obs/live"
 	"csi/internal/pcap"
 	"csi/internal/qoe"
 )
@@ -43,6 +45,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this path (go tool pprof)")
 		budget   = flag.Int64("work-budget", 0, "deterministic inference step budget; exhausted runs yield a partial result with a deadline_exceeded warning (0 = unbounded)")
 		deadline = flag.Float64("deadline", 0, "wall-clock inference deadline in seconds; a liveness backstop, not deterministic (0 = none)")
+		serve    = flag.String("serve", "", "serve the live ops plane (/metrics, /statusz, /events, pprof) on this address; port 0 binds a free port")
 	)
 	flag.Parse()
 	die := func(err error) {
@@ -90,9 +93,34 @@ func main() {
 		p.Display = run.Display
 	}
 	var sink *obs.Collector
+	var sinks []obs.Sink
 	if *traceOut != "" || *metrics != "" {
 		sink = obs.NewCollector()
-		p.Obs = obs.New(nil, sink)
+		sinks = append(sinks, sink)
+	}
+	var ring *live.Ring
+	if *serve != "" {
+		ring = live.NewRing(4096)
+		sinks = append(sinks, ring)
+	}
+	if fan := obs.Fanout(sinks...); fan != nil {
+		p.Obs = obs.New(nil, fan)
+	}
+	if *serve != "" {
+		srv, err := live.Start(live.Options{
+			Addr: *serve, Program: "csi-analyze",
+			Registry: p.Obs.Metrics(), Ring: ring,
+		})
+		if err != nil {
+			die(err)
+		}
+		defer func() { _ = srv.Shutdown(2 * time.Second) }()
+		srv.SetStatus("analysis", func() any {
+			return map[string]any{"manifest": *manifest, "run": *runPath, "mux": *mux}
+		})
+		p.Stages = srv.StageTimer()
+		fmt.Fprintln(os.Stderr, "csi-analyze: ops plane on http://"+srv.Addr())
+		srv.SetReady(true)
 	}
 	if fspec.Enabled() {
 		impaired, frep := faults.Apply(run, fspec, p.Obs)

@@ -14,10 +14,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"csi/internal/experiments"
 	"csi/internal/obs"
+	"csi/internal/obs/live"
 	"csi/internal/session"
 )
 
@@ -30,6 +32,8 @@ func main() {
 	deadline := flag.Float64("deadline", 0, "wall-clock deadline per run in seconds; a liveness backstop, not deterministic (0 = none)")
 	retries := flag.Int("retries", 0, "re-attempts per failed run (panics and cancellations are never retried)")
 	quarantine := flag.Int("quarantine-after", 0, "skip a run after this many consecutive failures (0 = disabled)")
+	serve := flag.String("serve", "", "serve the live ops plane (/metrics, /statusz, /events, pprof) on this address, e.g. 127.0.0.1:8080; port 0 binds a free port")
+	serveAddrFile := flag.String("serve-addr-file", "", "write the bound -serve address to this file (for scripts using port 0)")
 	flag.Parse()
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -61,12 +65,67 @@ func main() {
 	var sink *obs.Collector
 	if *traceOut != "" || *metrics != "" {
 		sink = obs.NewCollector()
-		sc.Obs = obs.New(nil, sink)
+	}
+	var ring *live.Ring
+	var sinks []obs.Sink
+	if sink != nil {
+		sinks = append(sinks, sink)
+	}
+	if *serve != "" {
+		ring = live.NewRing(4096)
+		sinks = append(sinks, ring)
+	}
+	if fan := obs.Fanout(sinks...); fan != nil {
+		sc.Obs = obs.New(nil, fan)
 	}
 	sc.WorkBudget = *budget
 	sc.DeadlineSec = *deadline
 	sc.Retries = *retries
 	sc.QuarantineAfter = *quarantine
+
+	// -serve: start the live ops plane. It only ever reads snapshots of the
+	// experiment registry, so -metrics/-trace-out outputs stay byte-identical
+	// with and without it.
+	var srv *live.Server
+	var current sync.Map // "experiment" -> name
+	if *serve != "" {
+		var err error
+		srv, err = live.Start(live.Options{
+			Addr: *serve, Program: "csi-paper",
+			Registry: sc.Obs.Metrics(), Ring: ring,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csi-paper:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := srv.Shutdown(2 * time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "csi-paper: ops shutdown:", err)
+			}
+		}()
+		srv.SetStatus("guard", func() any {
+			return map[string]any{
+				"work_budget": *budget, "deadline_sec": *deadline,
+				"retries": *retries, "quarantine_after": *quarantine,
+			}
+		})
+		srv.SetStatus("run", func() any {
+			doc := map[string]any{"scale": *scale}
+			if name, ok := current.Load("experiment"); ok {
+				doc["experiment"] = name
+			}
+			return doc
+		})
+		sc.Stages = srv.StageTimer()
+		if *serveAddrFile != "" {
+			if err := os.WriteFile(*serveAddrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "csi-paper:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "csi-paper: ops plane on http://"+srv.Addr())
+		srv.SetReady(true)
+	}
 
 	// First SIGINT drains gracefully: in-flight runs are cancelled via their
 	// guards and whatever completed still renders. A second SIGINT kills the
@@ -87,6 +146,7 @@ func main() {
 		names = []string{"prop1", "fig4", "fig5", "table3", "table4", "groups", "fig10", "fig11", "hulu", "ablations", "baseline", "timing"}
 	}
 	for _, name := range names {
+		current.Store("experiment", name)
 		start := time.Now()
 		var tab *experiments.Table
 		var err error

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"csi/internal/abr"
 	"csi/internal/faults"
@@ -21,6 +22,7 @@ import (
 	"csi/internal/media"
 	"csi/internal/netem"
 	"csi/internal/obs"
+	"csi/internal/obs/live"
 	"csi/internal/pcap"
 	"csi/internal/session"
 )
@@ -44,6 +46,7 @@ func main() {
 		out      = flag.String("o", "run.json", "output run path (.bin selects the compact binary format)")
 		traceOut = flag.String("trace-out", "", "write an execution trace of the session (.jsonl = JSONL events, else Chrome trace format)")
 		metrics  = flag.String("metrics", "", "write a text metrics dump to this path (\"-\" = stdout)")
+		serve    = flag.String("serve", "", "serve the live ops plane (/metrics, /statusz, /events, pprof) on this address; port 0 binds a free port")
 	)
 	flag.Parse()
 	die := func(err error) {
@@ -90,9 +93,35 @@ func main() {
 		cfg.Shaper = &netem.TokenBucketConfig{RateBps: *shRate * 1e6, BucketSize: *shBucket}
 	}
 	var sink *obs.Collector
+	var sinks []obs.Sink
 	if *traceOut != "" || *metrics != "" {
 		sink = obs.NewCollector()
-		cfg.Obs = obs.New(nil, sink)
+		sinks = append(sinks, sink)
+	}
+	var ring *live.Ring
+	if *serve != "" {
+		ring = live.NewRing(4096)
+		sinks = append(sinks, ring)
+	}
+	if fan := obs.Fanout(sinks...); fan != nil {
+		cfg.Obs = obs.New(nil, fan)
+	}
+	if *serve != "" {
+		srv, err := live.Start(live.Options{
+			Addr: *serve, Program: "csi-run",
+			Registry: cfg.Obs.Metrics(), Ring: ring,
+		})
+		if err != nil {
+			die(err)
+		}
+		defer func() { _ = srv.Shutdown(2 * time.Second) }()
+		srv.SetStatus("session", func() any {
+			return map[string]any{
+				"design": *design, "algo": *algo, "duration_sec": *duration, "seed": *seed,
+			}
+		})
+		fmt.Fprintln(os.Stderr, "csi-run: ops plane on http://"+srv.Addr())
+		srv.SetReady(true)
 	}
 	fspec, err := faults.ParseSpec(*faultStr)
 	if err != nil {

@@ -111,6 +111,7 @@ var taintAuditFiles = map[string]string{
 	"internal/guard/runner/runner.go": "interrupt watcher select; cancellation only",
 	"internal/guard/wallclock.go":     "opt-in -deadline liveness backstop",
 	"internal/obs/export.go":          "wallNow behind the WallClockMeta opt-in",
+	"internal/obs/live/live.go":       "-serve stage timing; durations stay in the ops plane's own registry",
 }
 
 func TestTaintAuditInventory(t *testing.T) {

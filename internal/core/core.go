@@ -116,6 +116,15 @@ type Params struct {
 	// obs.StepClock timeline. Nil disables instrumentation.
 	Obs *obs.Tracer
 
+	// Stages, when non-nil, receives wall-clock stage timings for the
+	// pipeline phases ("estimate", "candidates", "dp"). The only shipped
+	// implementation lives in internal/obs/live, which records into its own
+	// registry with its sanctioned clock; durations never feed an inference
+	// result or a deterministic export, so Stages never changes any output.
+	// Nil (the default) disables timing at the cost of one interface
+	// comparison per stage.
+	Stages obs.StageTimer
+
 	// Guard bounds the inference: a work-metered (and optionally
 	// wall-clock-deadlined) cancellation token checked at cheap
 	// deterministic checkpoints in request extraction, the mux candidate
@@ -333,9 +342,28 @@ func Infer(man *media.Manifest, tr *capture.Trace, p Params) (inf *Inference, er
 	if testHookInfer != nil {
 		testHookInfer()
 	}
+	stop := p.stageStart("estimate")
 	est, err := Estimate(tr, p)
+	stageStop(stop)
 	if err != nil {
 		return nil, err
 	}
 	return Identify(man, est, p)
+}
+
+// stageStart begins a wall-clock stage timing when a live ops plane is
+// attached via Params.Stages; without one the cost is a single interface
+// comparison and the returned stop is nil.
+func (p Params) stageStart(stage string) func() {
+	if p.Stages == nil {
+		return nil
+	}
+	return p.Stages.Start(stage)
+}
+
+// stageStop ends a timing begun by stageStart (nil-safe).
+func stageStop(stop func()) {
+	if stop != nil {
+		stop()
+	}
 }

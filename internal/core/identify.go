@@ -404,9 +404,13 @@ func alignTruth(reqs []Request, truth []capture.TruthRecord) []capture.TruthReco
 
 func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, error) {
 	span := p.Obs.Begin("core", "identify", obs.Int("requests", int64(len(est.Requests))))
+	stop := p.stageStart("candidates")
 	g := buildNoMuxGraph(man, est.Requests, p)
+	stageStop(stop)
 	minW, maxW, opts := unitAudioWeights(g)
+	stop = p.stageStart("dp")
 	total, vals := g.runDP(minW, maxW, opts, func(int, media.ChunkRef) float64 { return 0 })
+	stageStop(stop)
 	var warns []Warning
 	if !total.ok && p.Degrade && !p.Guard.Stopped() {
 		// Relaxed-K ladder: gap repair reconstructs bytes approximately, so
@@ -420,9 +424,13 @@ func identifyNoMux(man *media.Manifest, est *Estimation, p Params) (*Inference, 
 			}
 			pr := p
 			pr.K = p.K * mult
+			stop := p.stageStart("candidates")
 			g2 := buildNoMuxGraph(man, est.Requests, pr)
+			stageStop(stop)
 			m2, x2, o2 := unitAudioWeights(g2)
+			stop = p.stageStart("dp")
 			t2, v2 := g2.runDP(m2, x2, o2, func(int, media.ChunkRef) float64 { return 0 })
+			stageStop(stop)
 			if t2.ok {
 				warns = append(warns, Warning{Code: "k_relaxed",
 					Detail: fmt.Sprintf("no sequence at k=%.3f; matched at k=%.3f", p.K, pr.K)})

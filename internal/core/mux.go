@@ -59,7 +59,9 @@ type muxState struct {
 
 func identifyMux(man *media.Manifest, est *Estimation, p Params) (*Inference, error) {
 	span := p.Obs.Begin("core", "identify", obs.Int("groups", int64(len(est.Groups))))
+	stop := p.stageStart("candidates")
 	g, err := buildMuxGraph(man, est, p, nil)
+	stageStop(stop)
 	if err != nil {
 		if p.Degrade || p.Guard.Stopped() {
 			span.End(obs.Str("outcome", "degraded"))
@@ -74,7 +76,9 @@ func identifyMux(man *media.Manifest, est *Estimation, p Params) (*Inference, er
 		span.End(obs.Str("outcome", "chain_broken"))
 		return nil, err
 	}
+	stop = p.stageStart("dp")
 	total := g.chainDP()
+	stageStop(stop)
 	if !total.ok {
 		if p.Degrade || p.Guard.Stopped() {
 			span.End(obs.Str("outcome", "degraded"))

@@ -92,6 +92,7 @@ func ablRows(exp string, man *media.Manifest, res *session.Result, variants []ab
 				p := v.p
 				p.Obs = sc.Obs.Child()
 				p.Guard = g
+				p.Stages = sc.Stages
 				rows[vi] = ablRow(exp, v.name, man, res, p)
 				return nil
 			},

@@ -44,7 +44,7 @@ func Baseline(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			p := core.Params{MediaHost: man.Host, Obs: sc.Obs.Child()}
+			p := core.Params{MediaHost: man.Host, Obs: sc.Obs.Child(), Stages: sc.Stages}
 			est, err := core.Estimate(res.Run.Trace, p)
 			if err != nil {
 				return nil, err

@@ -34,6 +34,12 @@ type Scale struct {
 	// for a whole csi-paper invocation.
 	Obs *obs.Tracer
 
+	// Stages, when non-nil, receives wall-clock per-stage core.Infer
+	// timings (estimate/candidates/dp) for live observation. The only
+	// shipped implementation is the -serve ops plane's, which keeps the
+	// durations in its own registry; Stages never influences any result.
+	Stages obs.StageTimer
+
 	// WorkBudget, when positive, bounds each evaluated run's inference by a
 	// deterministic step budget (see guard.Ctx). Exhausted runs degrade to
 	// partial inferences carrying a deadline_exceeded warning and score

@@ -93,7 +93,7 @@ func evalRuns(design session.Design, sc Scale) ([]runOutcome, error) {
 				o := runOutcome{}
 				p := core.Params{
 					MediaHost: jb.man.Host, Mux: design == session.SQ,
-					Obs: sc.Obs.Child(), Guard: g,
+					Obs: sc.Obs.Child(), Guard: g, Stages: sc.Stages,
 				}
 				inf, err := core.Infer(jb.man, res.Run.Trace, p)
 				if err != nil {

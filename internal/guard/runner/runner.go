@@ -130,6 +130,15 @@ func Run(tasks []Task, pol Policy) ([]Result, Stats) {
 	cRetries := reg.Counter("runner.retries")
 	cCancels := reg.Counter("runner.cancellations")
 	cQuarantines := reg.Counter("runner.quarantines")
+	// Progress metrics for in-flight observation (the live ops plane derives
+	// remaining/rate/ETA from them). All increments are deterministic in
+	// aggregate: tasks_completed + tasks_failed converges to tasks_total and
+	// tasks_active returns to zero, whatever the worker interleaving.
+	cTotal := reg.Counter("runner.tasks_total")
+	cCompleted := reg.Counter("runner.tasks_completed")
+	cFailed := reg.Counter("runner.tasks_failed")
+	gActive := reg.Gauge("runner.tasks_active")
+	cTotal.Add(int64(len(tasks)))
 
 	var (
 		mu          sync.Mutex
@@ -239,7 +248,14 @@ func Run(tasks []Task, pol Policy) ([]Result, Stats) {
 				res.Quarantined = true
 				cQuarantines.Inc()
 			default:
+				gActive.Add(1)
 				res = attempt(t, res)
+				gActive.Add(-1)
+			}
+			if res.Err == nil {
+				cCompleted.Inc()
+			} else {
+				cFailed.Inc()
 			}
 
 			mu.Lock()

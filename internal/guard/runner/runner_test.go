@@ -69,6 +69,21 @@ func TestPanicContainedSiblingsComplete(t *testing.T) {
 	if v := tr.Metrics().Counter("runner.panics").Value(); v != 1 {
 		t.Fatalf("runner.panics = %d", v)
 	}
+	// Progress counters: every task reaches a terminal count and the active
+	// gauge settles back to zero.
+	reg := tr.Metrics()
+	if v := reg.Counter("runner.tasks_total").Value(); v != 3 {
+		t.Fatalf("runner.tasks_total = %d", v)
+	}
+	if v := reg.Counter("runner.tasks_completed").Value(); v != 2 {
+		t.Fatalf("runner.tasks_completed = %d", v)
+	}
+	if v := reg.Counter("runner.tasks_failed").Value(); v != 1 {
+		t.Fatalf("runner.tasks_failed = %d", v)
+	}
+	if v, ok := reg.Gauge("runner.tasks_active").Value(); !ok || v != 0 {
+		t.Fatalf("runner.tasks_active = %g/%v, want 0 after drain", v, ok)
+	}
 }
 
 func TestRetryDeterministicBackoff(t *testing.T) {

@@ -1,0 +1,44 @@
+package live
+
+import (
+	"testing"
+
+	"csi/internal/obs"
+)
+
+// BenchmarkNilStageTimer measures the no-`-serve` fast path the core pays
+// per stage: one interface-nil comparison, zero allocations.
+func BenchmarkNilStageTimer(b *testing.B) {
+	var s *Server
+	st := s.StageTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if st != nil {
+			stop := st.Start("estimate")
+			stop()
+		}
+	}
+}
+
+// BenchmarkLiveStageTimer measures the cost when a server is attached:
+// two clock reads plus one histogram observation per stage.
+func BenchmarkLiveStageTimer(b *testing.B) {
+	s := &Server{reg: obs.NewRegistry()}
+	st := s.StageTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stop := st.Start("estimate")
+		stop()
+	}
+}
+
+// BenchmarkRingEmit measures the sink cost per record with no waiter
+// attached (the steady state between SSE polls).
+func BenchmarkRingEmit(b *testing.B) {
+	r := NewRing(256)
+	rec := obs.Record{Time: 1, Kind: obs.Instant, Comp: "b", Name: "x"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(rec)
+	}
+}

@@ -1,0 +1,101 @@
+package live
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"strconv"
+
+	"csi/internal/obs"
+)
+
+// handleMetrics renders every metric of the application registry and the
+// server's own registry in the Prometheus text exposition format (version
+// 0.0.4). Both registries are read through lock-free snapshots; ordering is
+// stable (sorted by name within each registry), so two scrapes of an idle
+// process are byte-identical.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.reg.Counter("live.metrics_scrapes").Inc()
+	s.observeProgress()
+	s.reg.Gauge("live.uptime_seconds").Set(s.uptime())
+
+	var b bytes.Buffer
+	writeProm(&b, s.opts.Registry.Snapshot())
+	writeProm(&b, s.reg.Snapshot())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(b.Bytes())
+}
+
+// writeProm renders one registry snapshot.
+func writeProm(b *bytes.Buffer, snap obs.Snapshot) {
+	for _, c := range snap.Counters {
+		name := promName(c.Name)
+		b.WriteString("# TYPE " + name + " counter\n")
+		b.WriteString(name + " " + strconv.FormatInt(c.Value, 10) + "\n")
+	}
+	for _, g := range snap.Gauges {
+		if !g.Set {
+			continue
+		}
+		name := promName(g.Name)
+		b.WriteString("# TYPE " + name + " gauge\n")
+		b.WriteString(name + " " + promFloat(g.Value) + "\n")
+	}
+	for _, h := range snap.Histograms {
+		name := promName(h.Name)
+		b.WriteString("# TYPE " + name + " histogram\n")
+		cum := int64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			b.WriteString(name + `_bucket{le="` + le + `"} ` + strconv.FormatInt(cum, 10) + "\n")
+		}
+		b.WriteString(name + "_sum " + promFloat(h.Sum) + "\n")
+		b.WriteString(name + "_count " + strconv.FormatInt(h.N, 10) + "\n")
+		if h.N > 0 {
+			for _, q := range [...]struct {
+				suffix string
+				q      float64
+			}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+				qn := name + q.suffix
+				b.WriteString("# TYPE " + qn + " gauge\n")
+				b.WriteString(qn + " " + promFloat(h.Quantile(q.q)) + "\n")
+			}
+		}
+	}
+}
+
+// promName maps an obs metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* with a csi_ namespace prefix; the obs layer's
+// dots become underscores.
+func promName(name string) string {
+	out := make([]byte, 0, len(name)+4)
+	out = append(out, "csi_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// promFloat renders a float the way Prometheus expects (shortest
+// round-trippable decimal; +Inf/-Inf/NaN spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,89 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"csi/internal/obs"
+)
+
+// handleEvents tails the ring buffer as a Server-Sent Events stream: one
+// `data:` frame per obs record (JSONL payload, same encoding as the
+// -trace-out .jsonl export), with the record's ring sequence number as the
+// SSE id. The stream first replays the buffered tail — everything still in
+// the ring, or the last ?replay=N records — then blocks for new records
+// until the client disconnects or the server shuts down. Clients that
+// reconnect with Last-Event-ID resume where they left off, modulo ring
+// truncation: evicted records are gone, and the jump in ids makes the loss
+// visible.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ring := s.opts.Ring
+	if ring == nil {
+		http.Error(w, "no event ring attached", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	// Resume point: Last-Event-ID wins, else replay the tail (optionally
+	// bounded by ?replay=N).
+	var from uint64
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if id, err := strconv.ParseUint(last, 10, 64); err == nil {
+			from = id + 1
+		}
+	} else if n := r.URL.Query().Get("replay"); n != "" {
+		if k, err := strconv.ParseUint(n, 10, 64); err == nil {
+			_, _, next := ring.TailFrom(0)
+			if next > k {
+				from = next - k
+			}
+		}
+	}
+
+	s.reg.Counter("live.sse_clients").Inc()
+	for {
+		recs, first, next := ring.TailFrom(from)
+		if len(recs) > 0 {
+			var b bytes.Buffer
+			seq := first
+			for i := range recs {
+				writeSSERecord(&b, seq, recs[i])
+				seq++
+			}
+			if _, err := w.Write(b.Bytes()); err != nil {
+				return
+			}
+			fl.Flush()
+			from = next
+		}
+		wait := ring.Wait()
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// writeSSERecord renders one record as an SSE frame with a JSONL payload.
+func writeSSERecord(b *bytes.Buffer, seq uint64, rec obs.Record) {
+	fmt.Fprintf(b, "id: %d\n", seq)
+	b.WriteString("data: ")
+	// WriteJSONEvents emits one line per record, newline-terminated —
+	// exactly one SSE data field; the blank line below closes the frame.
+	if err := obs.WriteJSONEvents(b, []obs.Record{rec}); err != nil {
+		b.WriteString("{}\n")
+	}
+	b.WriteString("\n")
+}

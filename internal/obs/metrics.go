@@ -15,11 +15,40 @@ import (
 // to resolve and safe for concurrent use; resolve them once at component
 // construction time, not on hot paths. The nil *Registry hands out nil
 // handles, whose methods all no-op.
+//
+// The registry keeps a copy-on-write sorted index of its handles: every
+// registration (rare — component construction time) rebuilds it under the
+// mutex, and Snapshot/WriteText read it through an atomic pointer without
+// taking any registry-wide lock, so a live /metrics scrape never contends
+// with hot-path handle resolution or observation.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	idx      atomic.Pointer[regIndex]
+}
+
+// regIndex is the immutable, name-sorted view snapshots read lock-free.
+type regIndex struct {
+	counters []namedCounter
+	gauges   []namedGauge
+	hists    []namedHist
+}
+
+type namedCounter struct {
+	name string
+	c    *Counter
+}
+
+type namedGauge struct {
+	name string
+	g    *Gauge
+}
+
+type namedHist struct {
+	name string
+	h    *Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -29,6 +58,31 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
+}
+
+// reindex rebuilds the sorted copy-on-write index. Callers hold r.mu.
+func (r *Registry) reindex() {
+	ix := &regIndex{
+		counters: make([]namedCounter, 0, len(r.counters)),
+		gauges:   make([]namedGauge, 0, len(r.gauges)),
+		hists:    make([]namedHist, 0, len(r.hists)),
+	}
+	//csi-vet:ignore maporder -- each slice is sorted below before publication
+	for name, c := range r.counters {
+		ix.counters = append(ix.counters, namedCounter{name, c})
+	}
+	//csi-vet:ignore maporder -- each slice is sorted below before publication
+	for name, g := range r.gauges {
+		ix.gauges = append(ix.gauges, namedGauge{name, g})
+	}
+	//csi-vet:ignore maporder -- each slice is sorted below before publication
+	for name, h := range r.hists {
+		ix.hists = append(ix.hists, namedHist{name, h})
+	}
+	sort.Slice(ix.counters, func(a, b int) bool { return ix.counters[a].name < ix.counters[b].name })
+	sort.Slice(ix.gauges, func(a, b int) bool { return ix.gauges[a].name < ix.gauges[b].name })
+	sort.Slice(ix.hists, func(a, b int) bool { return ix.hists[a].name < ix.hists[b].name })
+	r.idx.Store(ix)
 }
 
 // Counter is a monotonically increasing integer metric. The nil *Counter
@@ -66,6 +120,23 @@ func (g *Gauge) Set(v float64) {
 	}
 	g.bits.Store(math.Float64bits(v))
 	g.set.Store(true)
+}
+
+// Add shifts the value by d (an unset gauge counts as 0). Nil-safe. The
+// CAS loop makes concurrent Adds lose no updates; mixing Add with Set is
+// last-writer-wins on the Set.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			g.set.Store(true)
+			return
+		}
+	}
 }
 
 // Value returns the last value and whether one was ever set.
@@ -121,6 +192,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if c == nil {
 		c = &Counter{}
 		r.counters[name] = c
+		r.reindex()
 	}
 	return c
 }
@@ -136,6 +208,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g == nil {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.reindex()
 	}
 	return g
 }
@@ -153,12 +226,125 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		b := append([]float64(nil), bounds...)
 		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
 		r.hists[name] = h
+		r.reindex()
 	}
 	return h
 }
 
+// CounterValue is one counter in a Snapshot.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// GaugeValue is one gauge in a Snapshot. Set reports whether the gauge was
+// ever written.
+type GaugeValue struct {
+	Name  string
+	Value float64
+	Set   bool
+}
+
+// HistogramValue is one histogram in a Snapshot: the bucket bounds, the
+// raw (non-cumulative) per-bucket counts with the overflow bucket last,
+// the observation count and the value sum.
+type HistogramValue struct {
+	Name   string
+	Bounds []float64
+	Counts []int64 // len(Bounds)+1; last = overflow
+	N      int64
+	Sum    float64
+}
+
+// Quantile estimates the q-quantile (q in (0,1)) by linear interpolation
+// inside the bucket holding the target rank, the same estimator Prometheus'
+// histogram_quantile uses: values below the first bound interpolate from 0
+// (or from the bound itself when it is non-positive), and ranks landing in
+// the overflow bucket clamp to the highest finite bound. Returns NaN for an
+// empty histogram.
+func (h HistogramValue) Quantile(q float64) float64 {
+	if h.N <= 0 || len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.N)
+	var cum int64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		hi := h.Bounds[i]
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		} else if hi <= 0 {
+			return hi
+		}
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot is a point-in-time copy of a registry, with every section
+// sorted by metric name.
+type Snapshot struct {
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Histograms []HistogramValue
+}
+
+// Snapshot captures every metric without taking the registry lock: it
+// reads the copy-on-write sorted index through an atomic pointer and then
+// loads each counter/gauge atomically (histograms briefly take their own
+// per-histogram mutex). Values observed mid-scrape on other goroutines land
+// in this snapshot or the next; ordering is stable (sorted by name) either
+// way. Nil-safe: a nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	ix := r.idx.Load()
+	if ix == nil {
+		return Snapshot{}
+	}
+	var s Snapshot
+	if len(ix.counters) > 0 {
+		s.Counters = make([]CounterValue, len(ix.counters))
+		for i, nc := range ix.counters {
+			s.Counters[i] = CounterValue{Name: nc.name, Value: nc.c.Value()}
+		}
+	}
+	if len(ix.gauges) > 0 {
+		s.Gauges = make([]GaugeValue, len(ix.gauges))
+		for i, ng := range ix.gauges {
+			v, ok := ng.g.Value()
+			s.Gauges[i] = GaugeValue{Name: ng.name, Value: v, Set: ok}
+		}
+	}
+	if len(ix.hists) > 0 {
+		s.Histograms = make([]HistogramValue, len(ix.hists))
+		for i, nh := range ix.hists {
+			n, sum, counts := nh.h.Snapshot()
+			s.Histograms[i] = HistogramValue{
+				Name: nh.name, Bounds: nh.h.bounds, Counts: counts, N: n, Sum: sum,
+			}
+		}
+	}
+	return s
+}
+
 // WriteText renders the registry as a deterministic text dump: sections for
-// counters, gauges and histograms, each sorted by metric name.
+// counters, gauges and histograms, each sorted by metric name. Histogram
+// lines carry cumulative bucket counts plus p50/p95/p99 estimates from
+// bucket interpolation (see HistogramValue.Quantile); both derive only from
+// the deterministic bucket counts, so same-seed dumps stay byte-identical.
 func (r *Registry) WriteText(w io.Writer) error {
 	var b bytes.Buffer
 	if r == nil {
@@ -166,48 +352,32 @@ func (r *Registry) WriteText(w io.Writer) error {
 		_, err := w.Write(b.Bytes())
 		return err
 	}
-	r.mu.Lock()
-	var cn, gn, hn []string
-	for name := range r.counters {
-		cn = append(cn, name)
-	}
-	for name := range r.gauges {
-		gn = append(gn, name)
-	}
-	for name := range r.hists {
-		hn = append(hn, name)
-	}
-	sort.Strings(cn)
-	sort.Strings(gn)
-	sort.Strings(hn)
-	counters := r.counters
-	gauges := r.gauges
-	hists := r.hists
-	r.mu.Unlock()
-
+	s := r.Snapshot()
 	b.WriteString("# counters\n")
-	for _, name := range cn {
-		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
 	}
 	b.WriteString("# gauges\n")
-	for _, name := range gn {
-		if v, ok := gauges[name].Value(); ok {
-			fmt.Fprintf(&b, "%s %s\n", name, formatFloat(v))
+	for _, g := range s.Gauges {
+		if g.Set {
+			fmt.Fprintf(&b, "%s %s\n", g.Name, formatFloat(g.Value))
 		}
 	}
 	b.WriteString("# histograms\n")
-	for _, name := range hn {
-		h := hists[name]
-		n, sum, counts := h.Snapshot()
-		fmt.Fprintf(&b, "%s count=%d sum=%s", name, n, formatFloat(sum))
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%s count=%d sum=%s", h.Name, h.N, formatFloat(h.Sum))
 		cum := int64(0)
-		for i, c := range counts {
+		for i, c := range h.Counts {
 			cum += c
-			if i < len(h.bounds) {
-				fmt.Fprintf(&b, " le%s=%d", formatFloat(h.bounds[i]), cum)
+			if i < len(h.Bounds) {
+				fmt.Fprintf(&b, " le%s=%d", formatFloat(h.Bounds[i]), cum)
 			} else {
 				fmt.Fprintf(&b, " inf=%d", cum)
 			}
+		}
+		if h.N > 0 {
+			fmt.Fprintf(&b, " p50=%s p95=%s p99=%s",
+				formatFloat(h.Quantile(0.50)), formatFloat(h.Quantile(0.95)), formatFloat(h.Quantile(0.99)))
 		}
 		b.WriteString("\n")
 	}

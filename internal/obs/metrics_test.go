@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotStableOrdering pins the snapshot contract: sections sorted by
+// name regardless of registration order, values read atomically.
+func TestSnapshotStableOrdering(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z").Add(3)
+	reg.Counter("a").Add(1)
+	reg.Gauge("g2").Set(2)
+	reg.Gauge("g1").Set(1)
+	reg.Histogram("h.b", []float64{1}).Observe(0.5)
+	reg.Histogram("h.a", []float64{2, 4}).Observe(3)
+
+	s := reg.Snapshot()
+	wantC := []CounterValue{{"a", 1}, {"z", 3}}
+	if !reflect.DeepEqual(s.Counters, wantC) {
+		t.Fatalf("counters = %v, want %v", s.Counters, wantC)
+	}
+	wantG := []GaugeValue{{"g1", 1, true}, {"g2", 2, true}}
+	if !reflect.DeepEqual(s.Gauges, wantG) {
+		t.Fatalf("gauges = %v, want %v", s.Gauges, wantG)
+	}
+	if len(s.Histograms) != 2 || s.Histograms[0].Name != "h.a" || s.Histograms[1].Name != "h.b" {
+		t.Fatalf("histograms out of order: %v", s.Histograms)
+	}
+	ha := s.Histograms[0]
+	if ha.N != 1 || ha.Sum != 3 || !reflect.DeepEqual(ha.Counts, []int64{0, 1, 0}) {
+		t.Fatalf("h.a snapshot = %+v", ha)
+	}
+	// A snapshot is a copy: later observations must not mutate it.
+	reg.Histogram("h.a", nil).Observe(10)
+	reg.Counter("a").Inc()
+	if s.Counters[0].Value != 1 || s.Histograms[0].N != 1 {
+		t.Fatal("snapshot aliased live registry state")
+	}
+}
+
+func TestSnapshotNilAndEmpty(t *testing.T) {
+	var nilReg *Registry
+	if s := nilReg.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	if s := NewRegistry().Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("empty registry snapshot not empty: %+v", s)
+	}
+}
+
+// TestSnapshotConcurrent exercises snapshots racing registrations and
+// observations; the race detector is the assertion.
+func TestSnapshotConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			reg.Counter("c").Inc()
+			reg.Gauge("g").Add(1)
+			reg.Histogram("h", []float64{1, 2, 4}).Observe(float64(i % 5))
+		}
+		close(stop)
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			s := reg.Snapshot()
+			for i := 1; i < len(s.Counters); i++ {
+				if s.Counters[i-1].Name >= s.Counters[i].Name {
+					t.Error("snapshot counters unsorted")
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestGaugeAdd(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g")
+	if _, ok := g.Value(); ok {
+		t.Fatal("fresh gauge reports set")
+	}
+	g.Add(2.5)
+	g.Add(-1)
+	if v, ok := g.Value(); !ok || v != 1.5 {
+		t.Fatalf("gauge = %v/%v, want 1.5/true", v, ok)
+	}
+	g.Set(10)
+	g.Add(1)
+	if v, _ := g.Value(); v != 11 {
+		t.Fatalf("gauge after Set+Add = %v, want 11", v)
+	}
+	var nilG *Gauge
+	nilG.Add(1) // must not panic
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	hv := HistogramValue{
+		Bounds: []float64{10, 20, 40},
+		// 10 observations <=10, 10 in (10,20], none in (20,40], 5 overflow.
+		Counts: []int64{10, 10, 0, 5},
+		N:      25,
+	}
+	// rank 12.5 lands in the second bucket: 10 + 10*(12.5-10)/10 = 12.5.
+	if got := hv.Quantile(0.5); math.Abs(got-12.5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 12.5", got)
+	}
+	// rank 23.75 lands in the overflow bucket: clamp to the top bound.
+	if got := hv.Quantile(0.95); got != 40 {
+		t.Fatalf("p95 = %g, want 40", got)
+	}
+	// First bucket interpolates from 0: rank 2.5 -> 10*2.5/10 = 2.5.
+	if got := hv.Quantile(0.1); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("p10 = %g, want 2.5", got)
+	}
+	if got := (HistogramValue{Bounds: []float64{1}}).Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %g, want NaN", got)
+	}
+	// A non-positive first bound cannot interpolate from 0; it reports the
+	// bound itself.
+	neg := HistogramValue{Bounds: []float64{-5, 5}, Counts: []int64{4, 0, 0}, N: 4}
+	if got := neg.Quantile(0.5); got != -5 {
+		t.Fatalf("negative-bound p50 = %g, want -5", got)
+	}
+}
+
+// TestWriteTextQuantiles pins the extended histogram line format: cumulative
+// buckets followed by p50/p95/p99, and no quantile block for an empty
+// histogram.
+func TestWriteTextQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{10, 20, 40})
+	for i := 0; i < 10; i++ {
+		h.Observe(5)  // first bucket
+		h.Observe(15) // second bucket
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(100) // overflow
+	}
+	reg.Histogram("empty", []float64{1, 2})
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# counters\n# gauges\n# histograms\n" +
+		"empty count=0 sum=0 le1=0 le2=0 inf=0\n" +
+		"lat count=25 sum=700 le10=10 le20=20 le40=20 inf=25 p50=12.5 p95=40 p99=40\n"
+	if buf.String() != want {
+		t.Fatalf("WriteText =\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	if Fanout() != nil {
+		t.Fatal("Fanout() != nil")
+	}
+	if Fanout(a) != Sink(a) {
+		t.Fatal("Fanout(a) should pass through unwrapped")
+	}
+	if Fanout(nil, a, nil) != Sink(a) {
+		t.Fatal("Fanout should drop nil sinks and unwrap the survivor")
+	}
+	if Fanout(nil, nil) != nil {
+		t.Fatal("Fanout of only nils should be nil")
+	}
+	s := Fanout(a, b)
+	s.Emit(Record{Name: "x"})
+	s.Emit(Record{Name: "y"})
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Fatalf("fanout delivered %d/%d records, want 2/2", a.Len(), b.Len())
+	}
+	if a.Records()[1].Name != "y" || b.Records()[0].Name != "x" {
+		t.Fatal("fanout broke record order")
+	}
+}

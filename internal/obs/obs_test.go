@@ -130,7 +130,7 @@ func TestRegistryWriteTextDeterministic(t *testing.T) {
 			t.Fatalf("WriteText not deterministic:\n%s\nvs\n%s", first, buf.String())
 		}
 	}
-	want := "# counters\na.count 1\nb.count 2\n# gauges\nz.gauge 1.25\n# histograms\nm.hist count=1 sum=3 le1=0 le10=1 inf=1\n"
+	want := "# counters\na.count 1\nb.count 2\n# gauges\nz.gauge 1.25\n# histograms\nm.hist count=1 sum=3 le1=0 le10=1 inf=1 p50=5.5 p95=9.549999999999999 p99=9.91\n"
 	if first != want {
 		t.Fatalf("WriteText =\n%q\nwant\n%q", first, want)
 	}

@@ -1,0 +1,47 @@
+package obs
+
+// StageTimer times named pipeline stages with real (wall-clock) durations.
+// The deterministic core never reads time itself: it calls Start/stop on
+// whatever implementation the caller supplies, and the only shipped
+// implementation lives in internal/obs/live — the one sanctioned wall-clock
+// scope of the observability plane. Durations recorded through a StageTimer
+// must never feed back into inference results or deterministic exports;
+// they exist solely for live operational telemetry (/statusz, /metrics).
+//
+// A nil StageTimer disables stage timing: callers guard with a single
+// interface-nil check (see core.Infer), so the off path costs nothing.
+type StageTimer interface {
+	// Start begins timing the named stage and returns the function that
+	// stops it and records the elapsed duration. Implementations must be
+	// safe for concurrent use: experiment drivers run many inferences at
+	// once, each timing its own stages.
+	Start(stage string) (stop func())
+}
+
+// Fanout returns a sink duplicating every record, in order, to each of
+// sinks. Nil sinks are dropped; one remaining sink passes through
+// unwrapped; zero yield nil (which Tracer treats as "drop records, keep
+// metrics").
+func Fanout(sinks ...Sink) Sink {
+	var out []Sink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return fanoutSink(out)
+}
+
+type fanoutSink []Sink
+
+func (f fanoutSink) Emit(r Record) {
+	for _, s := range f {
+		s.Emit(r)
+	}
+}

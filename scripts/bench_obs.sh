@@ -14,7 +14,11 @@ trap 'rm -f "$tmp"' EXIT
 # inference candidate search (the root-package pair reuses the 10-minute
 # fixture, so it dominates the runtime of this script).
 go test -run='^$' -bench='Obs(Off|On)$' -benchmem ./internal/sim/ ./internal/tcpsim/ | tee "$tmp"
-go test -run='^$' -bench='^Benchmark(Nil|Live)' -benchmem ./internal/obs/ | tee -a "$tmp"
+go test -run='^$' -bench='^Benchmark(Nil|Live|RegistrySnapshot)' -benchmem ./internal/obs/ | tee -a "$tmp"
+# The live ops plane's cost contract: the no-`-serve` stage-timer path is a
+# single nil-interface comparison with zero allocations, and the ring sink
+# stays allocation-free per record without waiters.
+go test -run='^$' -bench='^Benchmark(Nil|Live)StageTimer$|^BenchmarkRingEmit$' -benchmem ./internal/obs/live/ | tee -a "$tmp"
 go test -run='^$' -bench='^BenchmarkInferObs(Off|On)$' -benchmem . | tee -a "$tmp"
 
 awk '

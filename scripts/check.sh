@@ -61,6 +61,34 @@ cmp "$obstmp/infer.metrics.txt" testdata/obs/infer.metrics.txt
 # The JSONL event log must render as a timeline without error.
 go run ./cmd/csi-trace -timeline "$obstmp/infer.trace.jsonl" > /dev/null
 
+echo "== live ops plane smoke (-serve)"
+# csi-paper serves /metrics, /statusz, /healthz etc. while the timing
+# experiment runs; livesmoke.go validates the Prometheus exposition and the
+# status document against a live process. Then the traced quickstart reruns
+# WITH -serve and must stay byte-identical to the committed goldens: the ops
+# plane only reads snapshots of the application registry, so serving can
+# never perturb a deterministic export.
+go build -o "$obstmp/csi-paper" ./cmd/csi-paper
+rm -f "$obstmp/serve.addr"
+"$obstmp/csi-paper" -scale quick -serve 127.0.0.1:0 -serve-addr-file "$obstmp/serve.addr" timing \
+    > /dev/null 2>&1 &
+paper_pid=$!
+i=0
+while [ ! -s "$obstmp/serve.addr" ] && [ "$i" -lt 40 ]; do sleep 0.25; i=$((i+1)); done
+go run scripts/livesmoke.go "$(cat "$obstmp/serve.addr")"
+wait "$paper_pid"
+go run ./cmd/csi-run -manifest "$obstmp/man.json" -design SH -bandwidth 4 -duration 90 -seed 7 \
+    -serve 127.0.0.1:0 -o "$obstmp/run2.json" \
+    -trace-out "$obstmp/run2.trace.json" -metrics "$obstmp/run2.metrics.txt" > /dev/null 2>&1
+cmp "$obstmp/run2.json" "$obstmp/run.json"
+cmp "$obstmp/run2.trace.json" testdata/obs/session.trace.json
+cmp "$obstmp/run2.metrics.txt" testdata/obs/session.metrics.txt
+go run ./cmd/csi-analyze -manifest "$obstmp/man.json" -run "$obstmp/run.json" \
+    -serve 127.0.0.1:0 \
+    -trace-out "$obstmp/infer2.trace.jsonl" -metrics "$obstmp/infer2.metrics.txt" > /dev/null 2>&1
+cmp "$obstmp/infer2.trace.jsonl" testdata/obs/infer.trace.jsonl
+cmp "$obstmp/infer2.metrics.txt" testdata/obs/infer.metrics.txt
+
 echo "== capture decoder fuzz smoke"
 # A few seconds of coverage-guided fuzzing over each run decoder. The static
 # seed corpora under internal/capture/testdata/fuzz/ always replay as part of

@@ -1,0 +1,141 @@
+//go:build ignore
+
+// livesmoke probes a running live ops plane (-serve) and validates its
+// contract: /healthz answers 200 "ok", /readyz answers 200 once the binary
+// reported ready, /metrics parses as Prometheus text exposition (0.0.4)
+// and carries the csi_ namespace, and /statusz parses as JSON with the
+// documented top-level fields. check.sh runs it against a csi-paper
+// process bound to 127.0.0.1:0 (the address read from -serve-addr-file).
+//
+// Usage: go run scripts/livesmoke.go <addr>
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: livesmoke <host:port>")
+	}
+	base := "http://" + strings.TrimSpace(os.Args[1])
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// The serving process may still be starting; retry briefly.
+	body, err := fetchRetry(client, base+"/healthz", 200, 40)
+	if err != nil {
+		fail("healthz: %v", err)
+	}
+	if strings.TrimSpace(body) != "ok" {
+		fail("healthz body = %q, want ok", body)
+	}
+
+	if body, err = fetchRetry(client, base+"/readyz", 200, 40); err != nil {
+		fail("readyz: %v", err)
+	}
+
+	if body, err = fetchRetry(client, base+"/metrics", 200, 1); err != nil {
+		fail("metrics: %v", err)
+	}
+	if err := checkProm(body); err != nil {
+		fail("metrics exposition: %v", err)
+	}
+	if !strings.Contains(body, "csi_live_uptime_seconds") {
+		fail("metrics missing csi_live_uptime_seconds")
+	}
+
+	if body, err = fetchRetry(client, base+"/statusz", 200, 1); err != nil {
+		fail("statusz: %v", err)
+	}
+	var doc struct {
+		Program   string  `json:"program"`
+		GoVersion string  `json:"go_version"`
+		UptimeSec float64 `json:"uptime_sec"`
+		Ready     bool    `json:"ready"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		fail("statusz does not parse: %v", err)
+	}
+	if doc.Program == "" || doc.GoVersion == "" || !doc.Ready {
+		fail("statusz fields wrong: program=%q go=%q ready=%v", doc.Program, doc.GoVersion, doc.Ready)
+	}
+	fmt.Printf("livesmoke: %s ok (program=%s)\n", base, doc.Program)
+}
+
+func fetchRetry(c *http.Client, url string, wantCode, attempts int) (string, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(250 * time.Millisecond)
+		}
+		resp, err := c.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != wantCode {
+			lastErr = fmt.Errorf("status %d, want %d", resp.StatusCode, wantCode)
+			continue
+		}
+		return string(body), nil
+	}
+	return "", lastErr
+}
+
+// checkProm validates the text exposition line by line: comments, or
+// `name[{labels}] value` with a parseable float and a legal metric name.
+func checkProm(body string) error {
+	sc := bufio.NewScanner(strings.NewReader(body))
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		n++
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("line %d: no sample value: %q", n, line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil && line[sp+1:] != "+Inf" && line[sp+1:] != "-Inf" && line[sp+1:] != "NaN" {
+			return fmt.Errorf("line %d: bad value %q", n, line)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("line %d: unterminated labels: %q", n, line)
+			}
+			name = name[:i]
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				return fmt.Errorf("line %d: bad metric name %q", n, name)
+			}
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	return sc.Err()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "livesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
