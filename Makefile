@@ -20,7 +20,9 @@ race:
 
 # Observability-overhead pairs (nil tracer vs live collector) land in
 # BENCH_obs.json; core candidate-search before/after pairs (parallel kernel
-# vs serial reference) land in BENCH_core.json.
+# vs serial reference) land in BENCH_core.json; sustained session throughput
+# (serial + parallel streams) lands in BENCH_throughput.json.
 bench:
 	./scripts/bench_obs.sh
 	./scripts/bench_core.sh
+	./scripts/bench_throughput.sh

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -43,6 +44,8 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write an execution trace of the inference (.jsonl = JSONL events, else Chrome trace format)")
 		metrics  = flag.String("metrics", "", "write a text metrics dump to this path (\"-\" = stdout)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this path (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the analysis to this path (go tool pprof)")
+		cacheMB  = flag.Int64("half-cache-mb", 0, "share MUX half enumerations across inferences through a process-wide cache of this many MiB (0 = disabled; never changes results)")
 		budget   = flag.Int64("work-budget", 0, "deterministic inference step budget; exhausted runs yield a partial result with a deadline_exceeded warning (0 = unbounded)")
 		deadline = flag.Float64("deadline", 0, "wall-clock inference deadline in seconds; a liveness backstop, not deterministic (0 = none)")
 		serve    = flag.String("serve", "", "serve the live ops plane (/metrics, /statusz, /events, pprof) on this address; port 0 binds a free port")
@@ -70,6 +73,20 @@ func main() {
 			}
 		}()
 	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "csi-analyze:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "csi-analyze:", err)
+			}
+		}()
+	}
 	man, err := media.LoadManifestFile(*manifest, *host)
 	if err != nil {
 		die(err)
@@ -83,6 +100,8 @@ func main() {
 		die(err)
 	}
 	p := core.Params{MediaHost: *host, Mux: *mux, Degrade: *degrade || fspec.Enabled()}
+	halfCache := core.NewHalfCache(*cacheMB << 20)
+	p.HalfCache = halfCache
 	if *budget > 0 || *deadline > 0 {
 		p.Guard = guard.New(*budget).WithDeadline(guard.WallClock(), *deadline)
 	}
@@ -110,6 +129,7 @@ func main() {
 		srv, err := live.Start(live.Options{
 			Addr: *serve, Program: "csi-analyze",
 			Registry: p.Obs.Metrics(), Ring: ring,
+			Extra: []*obs.Registry{halfCache.Registry()},
 		})
 		if err != nil {
 			die(err)

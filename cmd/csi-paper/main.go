@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/pprof"
 	"sync"
 	"time"
 
+	"csi/internal/core"
 	"csi/internal/experiments"
 	"csi/internal/obs"
 	"csi/internal/obs/live"
@@ -28,6 +30,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write an execution trace of the experiments (.jsonl = JSONL events, else Chrome trace format); runs execute concurrently, so record order is not deterministic")
 	metrics := flag.String("metrics", "", "write an aggregate text metrics dump to this path (\"-\" = stdout)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this path (go tool pprof)")
+	memProf := flag.String("memprofile", "", "write a heap profile taken after the experiments to this path (go tool pprof)")
+	cacheMB := flag.Int64("half-cache-mb", 0, "share MUX half enumerations across the sweep's inferences through a process-wide cache of this many MiB (0 = disabled; never changes results)")
 	budget := flag.Int64("work-budget", 0, "deterministic per-run inference step budget; exhausted runs degrade to partial inferences (0 = unbounded)")
 	deadline := flag.Float64("deadline", 0, "wall-clock deadline per run in seconds; a liveness backstop, not deterministic (0 = none)")
 	retries := flag.Int("retries", 0, "re-attempts per failed run (panics and cancellations are never retried)")
@@ -48,6 +52,20 @@ func main() {
 		defer func() {
 			pprof.StopCPUProfile()
 			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "csi-paper:", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "csi-paper:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "csi-paper:", err)
 			}
 		}()
@@ -82,6 +100,7 @@ func main() {
 	sc.DeadlineSec = *deadline
 	sc.Retries = *retries
 	sc.QuarantineAfter = *quarantine
+	sc.HalfCache = core.NewHalfCache(*cacheMB << 20)
 
 	// -serve: start the live ops plane. It only ever reads snapshots of the
 	// experiment registry, so -metrics/-trace-out outputs stay byte-identical
@@ -93,6 +112,7 @@ func main() {
 		srv, err = live.Start(live.Options{
 			Addr: *serve, Program: "csi-paper",
 			Registry: sc.Obs.Metrics(), Ring: ring,
+			Extra: []*obs.Registry{sc.HalfCache.Registry()},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "csi-paper:", err)

@@ -11,6 +11,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"csi/internal/media"
 	"csi/internal/packet"
@@ -27,6 +28,18 @@ type Trace struct {
 	DNS map[string]string `json:"dns,omitempty"`
 	// ServerIP maps connection id to its server address.
 	ServerIP map[int]string `json:"server_ip,omitempty"`
+
+	// byConn memoizes ByConn. The per-connection split used to be rebuilt —
+	// one map plus one append-grown slice per connection — on every analysis
+	// pass, and at ~10 minutes of packets that rebuild dominated the entire
+	// allocation profile of core.Infer (≈160 MB per inference). The split is
+	// a pure function of Packets, so it is computed once per trace length and
+	// shared by every subsequent caller (degrade retries, ablation variants,
+	// repeated inferences over a monitored flow). byConnLen records the
+	// Packets length the cache was built at; a Tap append invalidates it.
+	byConnMu  sync.Mutex
+	byConn    map[int][]packet.View
+	byConnLen int
 }
 
 // NewTrace returns an empty trace.
@@ -133,12 +146,40 @@ func (t *Trace) FallbackConnIDs(hostSuffix string) []int {
 	return out
 }
 
-// ByConn splits the trace per connection, preserving time order.
+// ByConn splits the trace per connection, preserving time order. The result
+// is memoized on the trace and backed by one contiguous allocation: callers
+// receive shared read-only slices and must not mutate them (or append, which
+// would alias a neighboring connection's packets — the slices are handed out
+// at full capacity to make a stray append reallocate instead).
 func (t *Trace) ByConn() map[int][]packet.View {
-	m := make(map[int][]packet.View)
-	for _, v := range t.Packets {
-		m[v.ConnID] = append(m[v.ConnID], v)
+	t.byConnMu.Lock()
+	defer t.byConnMu.Unlock()
+	if t.byConn != nil && t.byConnLen == len(t.Packets) {
+		return t.byConn
 	}
+	// Two passes: count per connection, then slice one backing array into
+	// per-connection windows (in first-appearance order) and fill them. This
+	// allocates exactly len(Packets) views once, instead of the doubling
+	// churn of per-connection append growth.
+	counts := make(map[int]int)
+	for i := range t.Packets {
+		counts[t.Packets[i].ConnID]++
+	}
+	backing := make([]packet.View, len(t.Packets))
+	m := make(map[int][]packet.View, len(counts))
+	off := 0
+	for i := range t.Packets {
+		id := t.Packets[i].ConnID
+		s, ok := m[id]
+		if !ok {
+			n := counts[id]
+			s = backing[off : off : off+n]
+			off += n
+		}
+		m[id] = append(s, t.Packets[i])
+	}
+	t.byConn = m
+	t.byConnLen = len(t.Packets)
 	return m
 }
 

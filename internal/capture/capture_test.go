@@ -241,3 +241,43 @@ func TestLoadAnySniffsFormat(t *testing.T) {
 		}
 	}
 }
+
+// TestByConnMemoized pins the per-trace memo: a second call on an unchanged
+// trace returns the same map with zero allocations, and a Tap append
+// invalidates the memo so the split always reflects every packet.
+func TestByConnMemoized(t *testing.T) {
+	tr := NewTrace()
+	tap := tr.Tap()
+	for i := 0; i < 30; i++ {
+		tap(packet.View{Dir: packet.Down, ConnID: 1 + i%3, Size: 100}, float64(i))
+	}
+	first := tr.ByConn()
+	if !raceEnabled {
+		if avg := testing.AllocsPerRun(50, func() { tr.ByConn() }); avg != 0 {
+			t.Fatalf("memoized ByConn allocates %.1f/op, want 0", avg)
+		}
+	}
+	if got := tr.ByConn(); len(got) != len(first) {
+		t.Fatalf("memoized result changed shape: %d conns, was %d", len(got), len(first))
+	}
+	tap(packet.View{Dir: packet.Down, ConnID: 9, Size: 100}, 99)
+	after := tr.ByConn()
+	if _, ok := after[9]; !ok {
+		t.Fatalf("memo not invalidated: appended connection missing from ByConn")
+	}
+}
+
+// TestByConnAppendDoesNotAlias: the handed-out slices are full-capacity
+// windows of one backing array; appending to one connection's slice must
+// reallocate, never overwrite a neighboring connection's packets.
+func TestByConnAppendDoesNotAlias(t *testing.T) {
+	tr := NewTrace()
+	tap := tr.Tap()
+	tap(packet.View{Dir: packet.Down, ConnID: 1, Size: 111}, 0)
+	tap(packet.View{Dir: packet.Down, ConnID: 2, Size: 222}, 1)
+	m := tr.ByConn()
+	_ = append(m[1], packet.View{ConnID: 1, Size: 999}) // stray append
+	if got := tr.ByConn()[2][0].Size; got != 222 {
+		t.Fatalf("stray append clobbered neighboring connection: size %d, want 222", got)
+	}
+}

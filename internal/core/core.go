@@ -125,6 +125,15 @@ type Params struct {
 	// comparison per stage.
 	Stages obs.StageTimer
 
+	// HalfCache, when non-nil, shares truth-free half enumerations of the
+	// MUX candidate search across every Infer in the process (keyed by
+	// encoding-profile signature, so only sessions of the same ladder
+	// share). Stored entries carry their original enumeration cost and are
+	// charged at first committed use exactly like a fresh enumeration, so a
+	// warm cache changes wall-clock time and allocations but never a result.
+	// Nil disables cross-session sharing.
+	HalfCache *HalfCache
+
 	// Guard bounds the inference: a work-metered (and optionally
 	// wall-clock-deadlined) cancellation token checked at cheap
 	// deterministic checkpoints in request extraction, the mux candidate

@@ -476,7 +476,9 @@ type ev struct {
 }
 
 func estimateMux(pkts []packet.View, p Params, gaps quicGaps) ([]Group, error) {
-	var evs []ev
+	// At most one event per packet: size the slice once instead of letting
+	// append double through ~10 minutes of trace.
+	evs := make([]ev, 0, len(pkts))
 	var seenDown, seenUp ivl.Set
 	for _, v := range pkts {
 		if v.Dir == packet.Up {

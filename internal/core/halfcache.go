@@ -1,0 +1,207 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"csi/internal/media"
+	"csi/internal/obs"
+)
+
+// HalfCache is an optional process-wide LRU of half enumerations, shared by
+// every Infer in the process through Params.HalfCache. The per-search
+// singleflight halfCache (muxsearch.go) already deduplicates halves inside
+// one inference; this cache extends the sharing across sessions: thousands
+// of monitored streams of the same service ladder ask for the same halves,
+// and each is enumerated once per process instead of once per Infer.
+//
+// Determinism: entries are keyed by the encoding-profile signature (an FNV
+// hash of the full manifest ladder) plus the half's own key — chunk range
+// and display-constraint signature — and only truth-free halves (gi == -1)
+// are ever stored, so a stored entry is a pure function of its key. The
+// stored entry carries the original enumeration cost, which the group scan
+// charges at first committed use exactly as if it had enumerated the half
+// itself, so budget truncation points — and therefore candidate sets and
+// goldens — are byte-identical whether the cache is cold, warm or disabled.
+// Failed (cancelled) enumerations are never stored; capped ones are (a cap
+// is deterministic: halfComboCap is a compile-time constant).
+//
+// Concurrency: one mutex guards the map, the LRU list and the byte account.
+// Cached combo slices are published once and never mutated afterwards —
+// readers (meetHalves, chargeHalf) are strictly read-only — so handing the
+// same backing slice to concurrent Infers is safe.
+type HalfCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	m        map[procKey]*list.Element
+	lru      *list.List // front = most recently used
+
+	reg                        *obs.Registry
+	cHits, cMisses, cEvictions *obs.Counter
+	gBytes                     *obs.Gauge
+}
+
+// procKey scopes a half key to one encoding profile.
+type procKey struct {
+	sig uint64
+	key halfKey
+}
+
+// procEntry is one cached half. It mirrors the immutable payload of a
+// halfEntry; size is its byte-accounting charge.
+type procEntry struct {
+	k           procKey
+	combos      []halfCombo
+	cum         []float64
+	cost        int64
+	maxMatch    int32
+	zeroMatches bool
+	capped      bool
+	size        int64
+}
+
+// Byte accounting: slice payloads plus a flat per-entry overhead covering
+// the entry struct, the map bucket and the list element.
+const (
+	halfComboBytes    = 24 // int64 + int32 (padded) + float64
+	procEntryOverhead = 160
+)
+
+func entrySize(combos []halfCombo, cum []float64) int64 {
+	return int64(len(combos))*halfComboBytes + int64(len(cum))*8 + procEntryOverhead
+}
+
+// NewHalfCache returns a process-level cache bounded to maxBytes of stored
+// enumeration payload. maxBytes <= 0 yields a nil cache (disabled).
+func NewHalfCache(maxBytes int64) *HalfCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	reg := obs.NewRegistry()
+	hc := &HalfCache{
+		maxBytes:   maxBytes,
+		m:          make(map[procKey]*list.Element),
+		lru:        list.New(),
+		reg:        reg,
+		cHits:      reg.Counter("core.halfcache.hits"),
+		cMisses:    reg.Counter("core.halfcache.misses"),
+		cEvictions: reg.Counter("core.halfcache.evictions"),
+		gBytes:     reg.Gauge("core.halfcache.bytes"),
+	}
+	hc.gBytes.Set(0)
+	return hc
+}
+
+// Registry exposes the cache's own metrics registry
+// (core.halfcache.{hits,misses,evictions,bytes}) so callers can surface it
+// through /metrics. The registry is process-scoped, like the cache: its
+// counters never feed a per-inference tracer, so deterministic exports are
+// unaffected by cache state.
+func (hc *HalfCache) Registry() *obs.Registry {
+	if hc == nil {
+		return nil
+	}
+	return hc.reg
+}
+
+// Len returns the number of cached halves.
+func (hc *HalfCache) Len() int {
+	if hc == nil {
+		return 0
+	}
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return len(hc.m)
+}
+
+// Bytes returns the current byte account.
+func (hc *HalfCache) Bytes() int64 {
+	if hc == nil {
+		return 0
+	}
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return hc.bytes
+}
+
+// load copies a cached half into e, returning whether it was present. The
+// combo slices are shared with the cache (and with every other session that
+// loaded the entry); they are immutable by contract.
+func (hc *HalfCache) load(sig uint64, key halfKey, e *halfEntry) bool {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	el, ok := hc.m[procKey{sig: sig, key: key}]
+	if !ok {
+		hc.cMisses.Inc()
+		return false
+	}
+	hc.cHits.Inc()
+	hc.lru.MoveToFront(el)
+	pe := el.Value.(*procEntry)
+	e.combos = pe.combos
+	e.cum = pe.cum
+	e.cost = pe.cost
+	e.maxMatch = pe.maxMatch
+	e.zeroMatches = pe.zeroMatches
+	e.capped = pe.capped
+	return true
+}
+
+// store publishes a computed half. Entries larger than the whole budget are
+// skipped (they would only evict everything else and then miss anyway).
+func (hc *HalfCache) store(sig uint64, key halfKey, e *halfEntry) {
+	sz := entrySize(e.combos, e.cum)
+	if sz > hc.maxBytes {
+		return
+	}
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	k := procKey{sig: sig, key: key}
+	if _, ok := hc.m[k]; ok {
+		return // another session raced the same fill; first store wins
+	}
+	pe := &procEntry{
+		k: k, combos: e.combos, cum: e.cum, cost: e.cost,
+		maxMatch: e.maxMatch, zeroMatches: e.zeroMatches, capped: e.capped,
+		size: sz,
+	}
+	hc.m[k] = hc.lru.PushFront(pe)
+	hc.bytes += sz
+	for hc.bytes > hc.maxBytes {
+		back := hc.lru.Back()
+		if back == nil {
+			break
+		}
+		old := back.Value.(*procEntry)
+		hc.lru.Remove(back)
+		delete(hc.m, old.k)
+		hc.bytes -= old.size
+		hc.cEvictions.Inc()
+	}
+	hc.gBytes.Set(float64(hc.bytes))
+}
+
+// profileSig hashes the full encoding ladder — every track's kind, bitrate
+// and per-chunk sizes — into the FNV-1a signature that scopes cache entries
+// to one encoding profile. Everything a truth-free half enumeration reads
+// from the manifest is covered: chunk sizes directly, and the video-track
+// index set through the per-track kinds (display-constraint track indexes
+// resolve against the same ordering).
+func profileSig(man *media.Manifest) uint64 {
+	h := uint64(fnvOffset64)
+	mix := func(v uint64) {
+		h = (h ^ v) * fnvPrime64
+	}
+	mix(uint64(len(man.Tracks)))
+	for ti := range man.Tracks {
+		t := &man.Tracks[ti]
+		mix(uint64(t.Kind))
+		mix(uint64(t.Bitrate))
+		mix(uint64(len(t.Sizes)))
+		for _, s := range t.Sizes {
+			mix(uint64(s))
+		}
+	}
+	return h
+}

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/media/mediatest"
+	"csi/internal/netem"
+	"csi/internal/session"
+)
+
+// sqFixture captures one short SQ session for the cross-session cache tests.
+// A three-rung ladder keeps each half-enumeration small enough that the
+// session's whole truth-free working set fits the test cache budget (the
+// full default ladder materializes hundreds of MB of halves per session;
+// eviction behavior has its own dedicated test).
+func sqFixture(t *testing.T, seed int64) (*media.Manifest, *session.Result) {
+	t.Helper()
+	man := mediatest.Encode(t, media.EncodeConfig{
+		Name: "hctest", Seed: 23, DurationSec: 180, ChunkDur: 5,
+		Ladder: media.DefaultLadder[:3], TargetPASR: 1.5, AudioTracks: 1,
+	})
+	res, err := session.Run(session.Config{
+		Design:    session.SQ,
+		Manifest:  man,
+		Bandwidth: netem.GenerateCellular(netem.CellularConfig{Seed: seed, MeanBps: 5_000_000, Variability: 0.4}),
+		Duration:  60,
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatalf("session.Run: %v", err)
+	}
+	return man, res
+}
+
+type inferOutcome struct {
+	groups    int
+	count     float64
+	truncated bool
+	best      float64
+	worst     float64
+}
+
+func inferWith(t *testing.T, man *media.Manifest, res *session.Result, hc *core.HalfCache) inferOutcome {
+	t.Helper()
+	p := core.Params{MediaHost: man.Host, Mux: true, HalfCache: hc}
+	inf, err := core.Infer(man, res.Run.Trace, p)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	best, worst, err := inf.AccuracyRange(res.Run.Truth)
+	if err != nil {
+		t.Fatalf("AccuracyRange: %v", err)
+	}
+	return inferOutcome{
+		groups: len(inf.Groups), count: inf.SequenceCount,
+		truncated: inf.Truncated, best: best, worst: worst,
+	}
+}
+
+// sameOutcome compares two inference outcomes. The sequence count is the
+// one aggregate whose float accumulation order varies with goroutine
+// scheduling in the parallel search kernel (run-to-run, cache or not), so
+// it gets a last-few-ULPs relative tolerance; everything else is exact.
+func sameOutcome(a, b inferOutcome) bool {
+	if a.groups != b.groups || a.truncated != b.truncated || a.best != b.best || a.worst != b.worst {
+		return false
+	}
+	return math.Abs(a.count-b.count) <= 1e-12*math.Max(math.Abs(a.count), math.Abs(b.count))
+}
+
+// TestInferHalfCacheColdWarmDisabled pins the end-to-end determinism
+// contract on a real SQ session: the full inference outcome (groups,
+// sequence count, truncation, accuracy range) must be identical with the
+// process cache disabled, cold and warm.
+func TestInferHalfCacheColdWarmDisabled(t *testing.T) {
+	man, res := sqFixture(t, 11)
+	disabled := inferWith(t, man, res, nil)
+	hc := core.NewHalfCache(256 << 20)
+	cold := inferWith(t, man, res, hc)
+	if hc.Len() == 0 {
+		t.Fatalf("cold inference stored nothing in the process cache")
+	}
+	warm := inferWith(t, man, res, hc)
+	if !sameOutcome(cold, disabled) {
+		t.Fatalf("cold-cache outcome %+v != disabled %+v", cold, disabled)
+	}
+	if !sameOutcome(warm, disabled) {
+		t.Fatalf("warm-cache outcome %+v != disabled %+v", warm, disabled)
+	}
+	if hc.Registry().Counter("core.halfcache.hits").Value() == 0 {
+		t.Fatalf("warm inference recorded no process-cache hits")
+	}
+}
+
+// TestInferHalfCacheConcurrent races several concurrent Infers of distinct
+// sessions (same ladder) through one shared process cache; run under
+// `go test -race` this exercises the cache's concurrency contract, and
+// every concurrent outcome must equal its serial baseline.
+func TestInferHalfCacheConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent fixture setup is slow")
+	}
+	seeds := []int64{11, 12, 13}
+	mans := make([]*media.Manifest, len(seeds))
+	ress := make([]*session.Result, len(seeds))
+	want := make([]inferOutcome, len(seeds))
+	for i, s := range seeds {
+		mans[i], ress[i] = sqFixture(t, s)
+		want[i] = inferWith(t, mans[i], ress[i], nil)
+	}
+	hc := core.NewHalfCache(256 << 20)
+	const rounds = 2 // cold round fills concurrently, second round hits
+	for r := 0; r < rounds; r++ {
+		got := make([]inferOutcome, len(seeds))
+		var wg sync.WaitGroup
+		for i := range seeds {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i] = inferWith(t, mans[i], ress[i], hc)
+			}(i)
+		}
+		wg.Wait()
+		for i := range seeds {
+			if !sameOutcome(got[i], want[i]) {
+				t.Fatalf("round %d session %d: concurrent outcome %+v != serial %+v", r, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"csi/internal/media"
+	"csi/internal/packet"
+)
+
+// runSearch builds the mux graph and its truth-weighted view for one
+// "session" under an optional process cache, returning both candidate
+// tables (the complete observable output of the candidate search).
+func runSearch(t *testing.T, man *media.Manifest, groups []Group, tcx *truthCtx, hc *HalfCache, budget int64) (truthCands, truthCands, bool) {
+	t.Helper()
+	p := searchParams(0.05)
+	p.HalfCache = hc
+	if budget > 0 {
+		p.GroupSearchBudget = budget
+	}
+	est := &Estimation{Proto: packet.UDP, Mux: true, Groups: groups}
+	g, err := buildMuxGraph(man, est, p, nil)
+	if err != nil {
+		t.Fatalf("buildMuxGraph: %v", err)
+	}
+	return g.cands, g.withTruthWeights(man, p, tcx).cands, g.truncated
+}
+
+// TestHalfCacheCrossSessionDeterminism pins the cache's core contract: a
+// second session over the same ladder must produce candidate tables
+// byte-identical to both the cold-cache run and a cache-disabled run — and
+// must actually hit the process cache while doing so.
+func TestHalfCacheCrossSessionDeterminism(t *testing.T) {
+	man, groups, tcx := searchScenario(23, 3, 9, 4)
+
+	noCands, noWCands, noTrunc := runSearch(t, man, groups, tcx, nil, 0)
+
+	hc := NewHalfCache(64 << 20)
+	aCands, aWCands, aTrunc := runSearch(t, man, groups, tcx, hc, 0) // cold: fills
+	if hc.Len() == 0 {
+		t.Fatalf("cold session stored nothing in the process cache")
+	}
+	hitsAfterA := hc.Registry().Counter("core.halfcache.hits").Value()
+	bCands, bWCands, bTrunc := runSearch(t, man, groups, tcx, hc, 0) // warm: hits
+	hitsAfterB := hc.Registry().Counter("core.halfcache.hits").Value()
+	if hitsAfterB <= hitsAfterA {
+		t.Fatalf("warm session recorded no process-cache hits (%d -> %d)", hitsAfterA, hitsAfterB)
+	}
+
+	if noTrunc != aTrunc || noTrunc != bTrunc {
+		t.Fatalf("truncation flags diverged: disabled=%v cold=%v warm=%v", noTrunc, aTrunc, bTrunc)
+	}
+	for _, tc := range []struct {
+		name         string
+		cands, wcand truthCands
+	}{{"cold", aCands, aWCands}, {"warm", bCands, bWCands}} {
+		if !reflect.DeepEqual(tc.cands, noCands) {
+			t.Fatalf("%s-cache build candidates diverged from the cache-disabled run", tc.name)
+		}
+		if !reflect.DeepEqual(tc.wcand, noWCands) {
+			t.Fatalf("%s-cache eval candidates diverged from the cache-disabled run", tc.name)
+		}
+	}
+}
+
+// TestHalfCacheBudgetTruncationDeterminism repeats the cross-session check
+// under a budget small enough to truncate the scan: the truncation point
+// depends on the charge sequence, and a cached half must charge its stored
+// cost exactly like a fresh enumeration.
+func TestHalfCacheBudgetTruncationDeterminism(t *testing.T) {
+	man, groups, tcx := searchScenario(41, 4, 10, 4)
+	const budget = 25
+
+	noCands, _, noTrunc := runSearch(t, man, groups, tcx, nil, budget)
+	if !noTrunc {
+		t.Fatalf("budget %d did not truncate; scenario too small for this test", budget)
+	}
+	hc := NewHalfCache(64 << 20)
+	for i := 0; i < 3; i++ { // cold, then warm twice
+		cands, _, trunc := runSearch(t, man, groups, tcx, hc, budget)
+		if trunc != noTrunc {
+			t.Fatalf("run %d: truncation flag diverged under process cache", i)
+		}
+		if !reflect.DeepEqual(cands, noCands) {
+			t.Fatalf("run %d: truncated candidates diverged under process cache", i)
+		}
+	}
+}
+
+// TestHalfCacheEviction pins the byte bound: under a tiny budget the cache
+// must evict (counting evictions), never exceed its bound, and still leave
+// every inference result identical to the cache-disabled run.
+func TestHalfCacheEviction(t *testing.T) {
+	man, groups, tcx := searchScenario(29, 3, 9, 4)
+	noCands, noWCands, _ := runSearch(t, man, groups, tcx, nil, 0)
+
+	const bound = 2 << 10 // a few entries' worth: forces eviction churn
+	hc := NewHalfCache(bound)
+	for i := 0; i < 3; i++ {
+		cands, wcands, _ := runSearch(t, man, groups, tcx, hc, 0)
+		if !reflect.DeepEqual(cands, noCands) || !reflect.DeepEqual(wcands, noWCands) {
+			t.Fatalf("run %d: results diverged under an evicting cache", i)
+		}
+		if got := hc.Bytes(); got > bound {
+			t.Fatalf("run %d: cache holds %d bytes, bound %d", i, got, bound)
+		}
+	}
+	if hc.Registry().Counter("core.halfcache.evictions").Value() == 0 {
+		t.Fatalf("tiny-budget cache recorded no evictions")
+	}
+	if hc.Registry().Counter("core.halfcache.misses").Value() == 0 {
+		t.Fatalf("cache recorded no misses")
+	}
+}
+
+// TestHalfCacheOversizeEntrySkipped: an entry larger than the entire budget
+// must be skipped outright, not evict the whole cache and then miss.
+func TestHalfCacheOversizeEntrySkipped(t *testing.T) {
+	hc := NewHalfCache(1) // smaller than any entry's fixed overhead
+	e := &halfEntry{combos: []halfCombo{{sum: 1, count: 1}}}
+	hc.store(7, halfKey{gi: -1, from: 0, to: 1}, e)
+	if hc.Len() != 0 || hc.Bytes() != 0 {
+		t.Fatalf("oversize entry was stored: len=%d bytes=%d", hc.Len(), hc.Bytes())
+	}
+}
+
+// TestNewHalfCacheDisabled pins the nil contract: a non-positive budget
+// yields a nil cache whose read-side methods no-op.
+func TestNewHalfCacheDisabled(t *testing.T) {
+	hc := NewHalfCache(0)
+	if hc != nil {
+		t.Fatalf("NewHalfCache(0) = %v, want nil", hc)
+	}
+	if hc.Len() != 0 || hc.Bytes() != 0 || hc.Registry() != nil {
+		t.Fatalf("nil cache accessors must no-op")
+	}
+}
+
+// TestMeetHalvesAllocRegression guards the pooled weighted meet: once the
+// scratch pool is warm, the match-bucketed path must run allocation-free.
+func TestMeetHalvesAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on this path")
+	}
+	l := &halfEntry{combos: []halfCombo{{sum: 100, matches: 0, count: 1}, {sum: 200, matches: 1, count: 2}}, maxMatch: 1}
+	r := &halfEntry{combos: []halfCombo{{sum: 50, matches: 0, count: 1}, {sum: 150, matches: 1, count: 3}}, maxMatch: 1}
+	meetHalves(l, r, 0, 1000) // warm the pool
+	if avg := testing.AllocsPerRun(100, func() { meetHalves(l, r, 0, 1000) }); avg != 0 {
+		t.Fatalf("warm meetHalves allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestProfileSigSensitivity: the signature must move when any ladder size
+// moves, and must not depend on anything outside the ladder.
+func TestProfileSigSensitivity(t *testing.T) {
+	a := tinyManifest(5, 3, 8, true)
+	b := tinyManifest(5, 3, 8, true)
+	if profileSig(a) != profileSig(b) {
+		t.Fatalf("identical ladders hash differently")
+	}
+	b.Name = "renamed"
+	b.Host = "other.example.com"
+	if profileSig(a) != profileSig(b) {
+		t.Fatalf("signature depends on non-ladder identity")
+	}
+	b.Tracks[1].Sizes[3]++
+	if profileSig(a) == profileSig(b) {
+		t.Fatalf("signature ignored a chunk-size change")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"csi/internal/capture"
 	"csi/internal/guard"
@@ -184,6 +185,37 @@ type dpVals struct {
 	ok    bool
 }
 
+// dpScratch pools the per-run prefix/suffix tables of the no-MUX DP. Every
+// element is overwritten before it is read (the prefix and suffix loops fill
+// index 0 / n explicitly and sweep the rest), so reuse needs no zeroing —
+// only a capacity check. The tables never escape runDP; vals does (the
+// caller walks it in extractSequence) and therefore stays per-call.
+type dpScratch struct {
+	audioOK                   []bool
+	prefOK, sufOK             []bool
+	prefMin, prefMax, prefCnt []float64
+	sufMin, sufMax, sufCnt    []float64
+}
+
+var dpScratchPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+// growBools / growFloats return a slice of length n reusing buf's backing
+// array when it is large enough. Contents are unspecified: callers must
+// write every element before reading it.
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // runDP runs the forward DP. audioW[i] gives (min,max) per-request audio
 // match weight and the option count; videoW(i, c) the video match weight.
 // Returns per-layer per-candidate values plus the aggregated full-sequence
@@ -194,24 +226,39 @@ func (g *noMuxGraph) runDP(
 	videoW func(i int, c media.ChunkRef) float64,
 ) (total dpVals, vals [][]dpVals) {
 	n := len(g.layers)
-	vals = make([][]dpVals, n)
-	for i := range vals {
-		vals[i] = make([]dpVals, len(g.layers[i].video))
+	// vals escapes (extractSequence walks it after runDP returns), so it is
+	// allocated per call — but as one flat backing array plus headers, two
+	// allocations instead of one per layer.
+	nCands := 0
+	for i := range g.layers {
+		nCands += len(g.layers[i].video)
 	}
+	flat := make([]dpVals, nCands)
+	vals = make([][]dpVals, n)
+	for i, off := 0, 0; i < n; i++ {
+		c := len(g.layers[i].video)
+		vals[i] = flat[off : off+c : off+c]
+		off += c
+	}
+	sc := dpScratchPool.Get().(*dpScratch)
+	defer dpScratchPool.Put(sc)
 	// audioOK[i]: request i can be skipped by a video-chunk path — either
 	// it can be assigned as audio, or it matched nothing at all (noise:
 	// e.g. a retransmitted request whose inflated estimate fits no chunk)
 	// and is stepped over rather than failing the whole inference.
-	audioOK := make([]bool, n)
+	sc.audioOK = growBools(sc.audioOK, n)
+	audioOK := sc.audioOK
 	for i := range audioOK {
 		audioOK[i] = len(g.layers[i].audio) > 0 || len(g.layers[i].video) == 0
 	}
 	// Prefix aggregates over audio-assigned runs.
 	// prefMin[i] = sum of audioMinW[0..i-1], valid only if all audioOK.
-	prefMin := make([]float64, n+1)
-	prefMax := make([]float64, n+1)
-	prefCnt := make([]float64, n+1)
-	prefOK := make([]bool, n+1)
+	sc.prefMin = growFloats(sc.prefMin, n+1)
+	sc.prefMax = growFloats(sc.prefMax, n+1)
+	sc.prefCnt = growFloats(sc.prefCnt, n+1)
+	sc.prefOK = growBools(sc.prefOK, n+1)
+	prefMin, prefMax, prefCnt, prefOK := sc.prefMin, sc.prefMax, sc.prefCnt, sc.prefOK
+	prefMin[0], prefMax[0] = 0, 0
 	prefOK[0] = true
 	prefCnt[0] = 1
 	for i := 0; i < n; i++ {
@@ -279,11 +326,13 @@ func (g *noMuxGraph) runDP(
 
 	// Aggregate full sequences: a path ends at (i, c) if all requests
 	// after i are audio-capable.
-	sufOK := make([]bool, n+1)
-	sufMin := make([]float64, n+1)
-	sufMax := make([]float64, n+1)
-	sufCnt := make([]float64, n+1)
+	sc.sufOK = growBools(sc.sufOK, n+1)
+	sc.sufMin = growFloats(sc.sufMin, n+1)
+	sc.sufMax = growFloats(sc.sufMax, n+1)
+	sc.sufCnt = growFloats(sc.sufCnt, n+1)
+	sufOK, sufMin, sufMax, sufCnt := sc.sufOK, sc.sufMin, sc.sufMax, sc.sufCnt
 	sufOK[n] = true
+	sufMin[n], sufMax[n] = 0, 0
 	sufCnt[n] = 1
 	for i := n - 1; i >= 0; i-- {
 		sufOK[i] = sufOK[i+1] && audioOK[i]
@@ -312,9 +361,10 @@ func (g *noMuxGraph) runDP(
 
 func unitAudioWeights(g *noMuxGraph) (minW, maxW, opts []float64) {
 	n := len(g.layers)
-	minW = make([]float64, n)
-	maxW = make([]float64, n)
-	opts = make([]float64, n)
+	backing := make([]float64, 3*n) // one allocation; zeroed weights
+	minW = backing[0:n:n]
+	maxW = backing[n : 2*n : 2*n]
+	opts = backing[2*n : 3*n : 3*n]
 	for i := range g.layers {
 		opts[i] = float64(len(g.layers[i].audio))
 		if len(g.layers[i].audio) == 0 {
@@ -347,9 +397,10 @@ func (e *noMuxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64
 		}
 		truth = alignTruth(g.reqs, truth)
 	}
-	minW := make([]float64, n)
-	maxW := make([]float64, n)
-	opts := make([]float64, n)
+	backing := make([]float64, 3*n)
+	minW := backing[0:n:n]
+	maxW := backing[n : 2*n : 2*n]
+	opts := backing[2*n : 3*n : 3*n]
 	for i := range g.layers {
 		la := g.layers[i]
 		opts[i] = float64(len(la.audio))

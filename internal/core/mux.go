@@ -41,7 +41,7 @@ type muxGraph struct {
 	man       *media.Manifest
 	params    Params
 	groups    []Group
-	cands     [][]groupCand
+	cands     truthCands
 	nReqUsed  []int // requests assumed per group (may be reduced for phantoms)
 	truncated bool
 	// search is the shared candidate-search kernel (muxsearch.go): prefix
@@ -368,9 +368,10 @@ func (e *muxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64, 
 		videoTrack: make([]map[int]int, len(groups)),
 		audioCount: make([]map[int]int, len(groups)),
 	}
+	perGroup := len(truth)/len(groups) + 1
 	for gi := range groups {
-		tc.videoTrack[gi] = map[int]int{}
-		tc.audioCount[gi] = map[int]int{}
+		tc.videoTrack[gi] = make(map[int]int, perGroup)
+		tc.audioCount[gi] = make(map[int]int, perGroup)
 	}
 	gi := 0
 	for _, tr := range byTime {
@@ -392,6 +393,70 @@ func (e *muxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64, 
 	return total.best / float64(len(truth)), total.worst / float64(len(truth)), nil
 }
 
+// truthCands is a muxGraph's per-group candidate table. The ground-truth
+// eval pass deep-copies it (clone) before reweighting, so build-pass
+// candidates are never mutated.
+type truthCands [][]groupCand
+
+// clone deep-copies the table. All groups share one contiguous backing
+// array, handed out as full-capacity subslices so a stray append on one
+// group reallocates instead of aliasing its neighbor.
+func (tc truthCands) clone() truthCands {
+	total := 0
+	for _, g := range tc {
+		total += len(g)
+	}
+	backing := make([]groupCand, 0, total)
+	out := make(truthCands, len(tc))
+	for gi, g := range tc {
+		backing = append(backing, g...)
+		out[gi] = backing[len(backing)-len(g) : len(backing) : len(backing)]
+	}
+	return out
+}
+
+// reweightTruth clones g and rewrites each non-wild candidate's Max/MinW
+// from the ground truth: the assignment-independent audio score plus the
+// window weights produced by windowW. It is the single reweighting walk
+// shared by the production eval pass (withTruthWeights, below) and the
+// serial reference (serialWithTruthWeights in serialref_test.go), so the
+// two cannot drift — only the window-weight kernel differs.
+func reweightTruth(g *muxGraph, man *media.Manifest, tc *truthCtx,
+	windowW func(gi int, c groupCand, vLo, vHi int64) (maxW, minW float64)) *muxGraph {
+	out := &muxGraph{man: g.man, params: g.params, groups: g.groups, nReqUsed: g.nReqUsed, truncated: g.truncated}
+	out.cands = g.cands.clone()
+	for gi := range out.cands {
+		for ci := range out.cands[gi] {
+			c := &out.cands[gi][ci]
+			if c.Wild {
+				continue
+			}
+			audioW := 0.0
+			if c.aCount > 0 {
+				if have := tc.audioCount[gi][c.aTrack]; have > 0 {
+					audioW = float64(min(c.aCount, have))
+				}
+			}
+			if c.vLen > 0 {
+				sumLo, sumHi := media.CandidateRange(g.groups[gi].Est, g.params.K)
+				aSize := int64(0)
+				if c.aTrack >= 0 {
+					aSize = man.Tracks[c.aTrack].Sizes[0]
+				}
+				vLo := sumLo - int64(c.aCount)*aSize
+				vHi := sumHi - int64(c.aCount)*aSize
+				maxW, minW := windowW(gi, *c, vLo, vHi)
+				c.MaxW = maxW + audioW
+				c.MinW = minW + audioW
+			} else {
+				c.MaxW = audioW
+				c.MinW = audioW
+			}
+		}
+	}
+	return out
+}
+
 // withTruthWeights returns a copy of the graph whose candidates carry
 // ground-truth match weights, recomputing window statistics only for the
 // windows that actually matched during the build. The eval search shares
@@ -399,38 +464,8 @@ func (e *muxEval) accuracyRange(truth []capture.TruthRecord) (float64, float64, 
 // video index in range) hit the entries the build pass already computed.
 func (g *muxGraph) withTruthWeights(man *media.Manifest, p Params, tc *truthCtx) *muxGraph {
 	es := g.search.withTruth(tc)
-	out := &muxGraph{man: g.man, params: g.params, groups: g.groups, nReqUsed: g.nReqUsed, truncated: g.truncated}
-	out.cands = make([][]groupCand, len(g.cands))
-	for gi := range g.cands {
-		out.cands[gi] = make([]groupCand, len(g.cands[gi]))
-		for ci, c := range g.cands[gi] {
-			nc := c
-			if !c.Wild {
-				audioW := 0.0
-				if c.aCount > 0 {
-					if have := tc.audioCount[gi][c.aTrack]; have > 0 {
-						audioW = float64(min(c.aCount, have))
-					}
-				}
-				if c.vLen > 0 {
-					sumLo, sumHi := media.CandidateRange(g.groups[gi].Est, g.params.K)
-					aSize := int64(0)
-					if c.aTrack >= 0 {
-						aSize = man.Tracks[c.aTrack].Sizes[0]
-					}
-					vLo := sumLo - int64(c.aCount)*aSize
-					vHi := sumHi - int64(c.aCount)*aSize
-					evalBudget := g.params.GroupSearchBudget
-					maxW, minW := es.evalWindow(gi, c.vStart, c.vLen, vLo, vHi, &evalBudget)
-					nc.MaxW = maxW + audioW
-					nc.MinW = minW + audioW
-				} else {
-					nc.MaxW = audioW
-					nc.MinW = audioW
-				}
-			}
-			out.cands[gi][ci] = nc
-		}
-	}
-	return out
+	return reweightTruth(g, man, tc, func(gi int, c groupCand, vLo, vHi int64) (float64, float64) {
+		evalBudget := g.params.GroupSearchBudget
+		return es.evalWindow(gi, c.vStart, c.vLen, vLo, vHi, &evalBudget)
+	})
 }

@@ -137,13 +137,67 @@ func (hc *halfCache) get(key halfKey, cancel *atomic.Bool, fill func(e *halfEntr
 	}
 }
 
-// enumScratch is the pooled ping-pong buffer pair for half enumeration,
-// killing the per-level slice churn of the old enum closure.
+// enumScratch is the pooled scratch of one half enumeration: the ping-pong
+// buffer pair that kills the per-level slice churn of the old enum closure,
+// plus the per-position merge cursors (sz/mi/pos), which used to be three
+// fresh allocations per chunk index. All fields are resized, never
+// reallocated, while capacity suffices; ownership is strictly Get→Put within
+// fillHalf, so concurrent workers never alias a scratch.
 type enumScratch struct {
 	cur, next []halfCombo
+	sz        []int64
+	mi        []int32
+	pos       []int
+}
+
+// runCursors returns the per-track merge cursor arrays sized for n tracks,
+// reusing the scratch backing. mi and pos are zeroed (callers only set the
+// match bump conditionally); sz is fully overwritten by the caller.
+func (sc *enumScratch) runCursors(n int) (sz []int64, mi []int32, pos []int) {
+	if cap(sc.sz) < n {
+		sc.sz = make([]int64, n)
+		sc.mi = make([]int32, n)
+		sc.pos = make([]int, n)
+	}
+	sc.sz, sc.mi, sc.pos = sc.sz[:n], sc.mi[:n], sc.pos[:n]
+	for i := 0; i < n; i++ {
+		sc.mi[i], sc.pos[i] = 0, 0
+	}
+	return sc.sz, sc.mi, sc.pos
 }
 
 var enumScratchPool = sync.Pool{New: func() any { return new(enumScratch) }}
+
+// meetScratch pools the per-match-count buckets of the weighted meetHalves
+// path. Bucket sums/cum keep their capacity across uses; a Get→Put pair is
+// scoped to one meetHalves call, so worker goroutines never share one.
+type meetScratch struct {
+	buckets []meetBkt
+}
+
+type meetBkt struct {
+	sums     []int64
+	cum      []float64
+	iLo, iHi int
+}
+
+var meetScratchPool = sync.Pool{New: func() any { return new(meetScratch) }}
+
+// grab returns n reset buckets, reusing backing storage.
+func (sc *meetScratch) grab(n int) []meetBkt {
+	if cap(sc.buckets) < n {
+		old := sc.buckets
+		sc.buckets = make([]meetBkt, n)
+		copy(sc.buckets, old)
+	}
+	sc.buckets = sc.buckets[:n]
+	for i := range sc.buckets {
+		b := &sc.buckets[i]
+		b.sums, b.cum = b.sums[:0], b.cum[:0]
+		b.iLo, b.iHi = 0, 0
+	}
+	return sc.buckets
+}
 
 // muxSearch carries everything the candidate search kernel needs: the
 // manifest with its prefix sums, the display constraints, the optional
@@ -170,6 +224,11 @@ type muxSearch struct {
 	guard *guard.Ctx
 
 	cache *halfCache
+	// proc is the optional process-wide cache (Params.HalfCache); procSig
+	// scopes its entries to this manifest's encoding profile. Only
+	// truth-free halves (key.gi == -1) round-trip through it.
+	proc    *HalfCache
+	procSig uint64
 	// seen tracks halves by first committed use across build and eval for
 	// the deterministic hit/miss metrics; charged tracks budget charges and
 	// is reset per pass so repeated eval passes behave identically.
@@ -197,6 +256,10 @@ func newMuxSearch(man *media.Manifest, p Params, tc *truthCtx) *muxSearch {
 	}
 	if ms.workers < 1 {
 		ms.workers = 1
+	}
+	if p.HalfCache != nil {
+		ms.proc = p.HalfCache
+		ms.procSig = profileSig(man)
 	}
 	ms.pre = media.NewTrackPrefix(man, ms.vTracks)
 	if len(ms.disp) > 0 {
@@ -394,9 +457,7 @@ func (ms *muxSearch) fillHalf(e *halfEntry, gi, from, to int, cancel *atomic.Boo
 		// pos[h] is its cursor. Each run is sorted, so a T-way merge yields
 		// the next compressed level directly.
 		ts := ms.allowedAt(idx)
-		sz := make([]int64, len(ts))
-		mi := make([]int32, len(ts))
-		pos := make([]int, len(ts))
+		sz, mi, pos := sc.runCursors(len(ts))
 		for h, t := range ts {
 			sz[h] = ms.man.Tracks[t].Sizes[idx]
 			if t == want {
@@ -462,6 +523,22 @@ func (ms *muxSearch) fillHalf(e *halfEntry, gi, from, to int, cancel *atomic.Boo
 	}
 }
 
+// fillCached fills e for the half [from, to), consulting the process-wide
+// cache first for truth-free halves. A loaded entry carries the original
+// enumeration cost, so downstream budget charges are identical to a fresh
+// fill; a freshly computed truth-free entry is published unless it failed
+// (cancelled fills are nondeterministic — a later caller recomputes).
+func (ms *muxSearch) fillCached(e *halfEntry, gi, from, to int, key halfKey, cancel *atomic.Bool) {
+	cacheable := ms.proc != nil && key.gi < 0 && from < to
+	if cacheable && ms.proc.load(ms.procSig, key, e) {
+		return
+	}
+	ms.fillHalf(e, gi, from, to, cancel)
+	if cacheable && !e.failed {
+		ms.proc.store(ms.procSig, key, e)
+	}
+}
+
 // meetHalves combines two compressed halves: the number of assignments
 // whose sums land in [vLo, vHi] and the max/min ground-truth matches among
 // them. Both halves are sorted by sum, so the range queries are merged in
@@ -490,13 +567,12 @@ func meetHalves(l, r *halfEntry, vLo, vHi int64) (count, maxW, minW float64) {
 	}
 	// Bucket the right half by match count (tiny domain). combos is sorted
 	// by (sum, matches), so each bucket's sums arrive ascending and each
-	// bucket gets its own monotone pointer pair.
-	type bkt struct {
-		sums     []int64
-		cum      []float64
-		iLo, iHi int
-	}
-	buckets := make([]bkt, r.maxMatch+1)
+	// bucket gets its own monotone pointer pair. Buckets come from the pool:
+	// the weighted meet runs once per committed window of every eval pass,
+	// and its bucket slices were the last per-window allocation left.
+	sc := meetScratchPool.Get().(*meetScratch)
+	defer meetScratchPool.Put(sc)
+	buckets := sc.grab(int(r.maxMatch) + 1)
 	for _, c := range r.combos {
 		b := &buckets[c.matches]
 		b.sums = append(b.sums, c.sum)
@@ -574,7 +650,7 @@ func (ms *muxSearch) runJob(j *windowJob, cancel *atomic.Bool) {
 	lFrom, lTo := j.s, j.s+mid
 	gl := ms.truthGi(j.gi, lFrom, lTo)
 	j.res.lKey = ms.keyFor(gl, lFrom, lTo)
-	le := ms.cache.get(j.res.lKey, cancel, func(e *halfEntry) { ms.fillHalf(e, gl, lFrom, lTo, cancel) })
+	le := ms.cache.get(j.res.lKey, cancel, func(e *halfEntry) { ms.fillCached(e, gl, lFrom, lTo, j.res.lKey, cancel) })
 	if le.failed {
 		j.res.cancelled = true
 		return
@@ -586,7 +662,7 @@ func (ms *muxSearch) runJob(j *windowJob, cancel *atomic.Bool) {
 	rFrom, rTo := j.s+mid, j.s+j.vLen
 	gr := ms.truthGi(j.gi, rFrom, rTo)
 	j.res.rKey = ms.keyFor(gr, rFrom, rTo)
-	re := ms.cache.get(j.res.rKey, cancel, func(e *halfEntry) { ms.fillHalf(e, gr, rFrom, rTo, cancel) })
+	re := ms.cache.get(j.res.rKey, cancel, func(e *halfEntry) { ms.fillCached(e, gr, rFrom, rTo, j.res.rKey, cancel) })
 	if re.failed {
 		j.res.cancelled = true
 		return
@@ -815,14 +891,14 @@ func (ms *muxSearch) evalWindow(gi, s, vLen int, vLo, vHi int64, budget *int64) 
 	mid := (vLen + 1) / 2
 	gl := ms.truthGi(gi, s, s+mid)
 	lKey := ms.keyFor(gl, s, s+mid)
-	le := ms.cache.get(lKey, nil, func(e *halfEntry) { ms.fillHalf(e, gl, s, s+mid, nil) })
+	le := ms.cache.get(lKey, nil, func(e *halfEntry) { ms.fillCached(e, gl, s, s+mid, lKey, nil) })
 	ms.chargeHalf(lKey, le.cost, budget)
 	if le.capped || le.failed {
 		return 0, 0
 	}
 	gr := ms.truthGi(gi, s+mid, s+vLen)
 	rKey := ms.keyFor(gr, s+mid, s+vLen)
-	re := ms.cache.get(rKey, nil, func(e *halfEntry) { ms.fillHalf(e, gr, s+mid, s+vLen, nil) })
+	re := ms.cache.get(rKey, nil, func(e *halfEntry) { ms.fillCached(e, gr, s+mid, s+vLen, rKey, nil) })
 	ms.chargeHalf(rKey, re.cost, budget)
 	if re.capped || re.failed || *budget <= 0 {
 		return 0, 0

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled is true when the race detector is on; allocation-regression
+// guards skip themselves then, since the detector's instrumentation
+// allocates on paths that are allocation-free in normal builds.
+const raceEnabled = true

@@ -314,6 +314,8 @@ func serialWindowStats(man *media.Manifest, allowed func(int) []int, wantTrack f
 }
 
 // serialWithTruthWeights is the old eval pass driving serialWindowStats.
+// The clone-and-reweight walk is the shared reweightTruth (mux.go); only
+// the window-weight kernel is the serial reference implementation.
 func serialWithTruthWeights(g *muxGraph, man *media.Manifest, p Params, tc *truthCtx) *muxGraph {
 	disp := displayConstraint(p.Display)
 	vTracks := man.VideoTracks()
@@ -325,44 +327,15 @@ func serialWithTruthWeights(g *muxGraph, man *media.Manifest, p Params, tc *trut
 		}
 		return vTracks
 	}
-	out := &muxGraph{man: g.man, params: g.params, groups: g.groups, nReqUsed: g.nReqUsed, truncated: g.truncated}
-	out.cands = make([][]groupCand, len(g.cands))
-	for gi := range g.cands {
+	return reweightTruth(g, man, tc, func(gi int, c groupCand, vLo, vHi int64) (float64, float64) {
 		wantTrack := func(s, pos int) int {
 			if tr, ok := tc.videoTrack[gi][s+pos]; ok {
 				return tr
 			}
 			return -1
 		}
-		out.cands[gi] = make([]groupCand, len(g.cands[gi]))
-		for ci, c := range g.cands[gi] {
-			nc := c
-			if !c.Wild {
-				audioW := 0.0
-				if c.aCount > 0 {
-					if have := tc.audioCount[gi][c.aTrack]; have > 0 {
-						audioW = float64(min(c.aCount, have))
-					}
-				}
-				if c.vLen > 0 {
-					sumLo, sumHi := media.CandidateRange(g.groups[gi].Est, g.params.K)
-					aSize := int64(0)
-					if c.aTrack >= 0 {
-						aSize = man.Tracks[c.aTrack].Sizes[0]
-					}
-					vLo := sumLo - int64(c.aCount)*aSize
-					vHi := sumHi - int64(c.aCount)*aSize
-					evalBudget := g.params.GroupSearchBudget
-					_, maxW, minW, _ := serialWindowStats(man, allowed, wantTrack, c.vStart, c.vLen, vLo, vHi, &evalBudget)
-					nc.MaxW = maxW + audioW
-					nc.MinW = minW + audioW
-				} else {
-					nc.MaxW = audioW
-					nc.MinW = audioW
-				}
-			}
-			out.cands[gi][ci] = nc
-		}
-	}
-	return out
+		evalBudget := g.params.GroupSearchBudget
+		_, maxW, minW, _ := serialWindowStats(man, allowed, wantTrack, c.vStart, c.vLen, vLo, vHi, &evalBudget)
+		return maxW, minW
+	})
 }

@@ -93,6 +93,7 @@ func ablRows(exp string, man *media.Manifest, res *session.Result, variants []ab
 				p.Obs = sc.Obs.Child()
 				p.Guard = g
 				p.Stages = sc.Stages
+				p.HalfCache = sc.HalfCache
 				rows[vi] = ablRow(exp, v.name, man, res, p)
 				return nil
 			},

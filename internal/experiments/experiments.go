@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"csi/internal/core"
 	"csi/internal/guard/runner"
 	"csi/internal/obs"
 )
@@ -39,6 +40,12 @@ type Scale struct {
 	// shipped implementation is the -serve ops plane's, which keeps the
 	// durations in its own registry; Stages never influences any result.
 	Stages obs.StageTimer
+
+	// HalfCache, when non-nil, shares truth-free MUX half enumerations
+	// across every inference of the sweep (and, being process-scoped,
+	// across sweeps). See core.Params.HalfCache; a warm cache changes
+	// speed and allocations, never a result.
+	HalfCache *core.HalfCache
 
 	// WorkBudget, when positive, bounds each evaluated run's inference by a
 	// deterministic step budget (see guard.Ctx). Exhausted runs degrade to

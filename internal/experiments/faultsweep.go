@@ -236,6 +236,7 @@ func scoreFaultRun(man *media.Manifest, run *capture.Run, d session.Design, sc S
 	p := core.Params{
 		MediaHost: man.Host, Mux: d == session.SQ,
 		Degrade: true, Obs: sc.Obs.Child(), Guard: g, Stages: sc.Stages,
+		HalfCache: sc.HalfCache,
 	}
 	inf, err := core.Infer(man, run.Trace, p)
 	if err != nil {

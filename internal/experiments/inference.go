@@ -94,6 +94,7 @@ func evalRuns(design session.Design, sc Scale) ([]runOutcome, error) {
 				p := core.Params{
 					MediaHost: jb.man.Host, Mux: design == session.SQ,
 					Obs: sc.Obs.Child(), Guard: g, Stages: sc.Stages,
+					HalfCache: sc.HalfCache,
 				}
 				inf, err := core.Infer(jb.man, res.Run.Trace, p)
 				if err != nil {

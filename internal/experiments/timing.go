@@ -43,7 +43,7 @@ func Timing(sc Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p := core.Params{MediaHost: man.Host, Mux: d == session.SQ}
+		p := core.Params{MediaHost: man.Host, Mux: d == session.SQ, HalfCache: sc.HalfCache}
 		start := time.Now()
 		inf, err := core.Infer(man, res.Run.Trace, p)
 		elapsed := time.Since(start).Seconds()

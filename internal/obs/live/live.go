@@ -63,6 +63,11 @@ type Options struct {
 	Registry *obs.Registry
 	// Ring, when non-nil, is tailed by /events.
 	Ring *Ring
+	// Extra registries are additional read-only snapshots rendered by
+	// /metrics after Registry — e.g. the process-wide half-enumeration
+	// cache's counters (core.halfcache.*), which live outside the
+	// deterministic application registry. Nil entries are skipped.
+	Extra []*obs.Registry
 }
 
 // Server is the live ops plane. The nil *Server no-ops on every method, so

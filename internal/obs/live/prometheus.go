@@ -21,6 +21,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	var b bytes.Buffer
 	writeProm(&b, s.opts.Registry.Snapshot())
+	for _, reg := range s.opts.Extra {
+		if reg != nil {
+			writeProm(&b, reg.Snapshot())
+		}
+	}
 	writeProm(&b, s.reg.Snapshot())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(b.Bytes())

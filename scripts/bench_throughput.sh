@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Measures sustained core.Infer session throughput (sessions/sec,
+# allocs/session, peak RSS) over serial and GOMAXPROCS-parallel streams of
+# distinct pre-captured sessions, and records the results as
+# BENCH_throughput.json at the module root. The SQ stream runs with the
+# process-wide half-enumeration cache enabled, as a fleet monitor would.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./scripts/throughput -json BENCH_throughput.json "$@"

@@ -89,6 +89,26 @@ go run ./cmd/csi-analyze -manifest "$obstmp/man.json" -run "$obstmp/run.json" \
 cmp "$obstmp/infer2.trace.jsonl" testdata/obs/infer.trace.jsonl
 cmp "$obstmp/infer2.metrics.txt" testdata/obs/infer.metrics.txt
 
+echo "== golden byte-identity with the process half-cache enabled"
+# The inference must not change when the process-wide half-enumeration
+# cache (DESIGN.md §11) is switched on: rerun the traced quickstart
+# analysis with -half-cache-mb and require byte-identity against the same
+# committed goldens. (The SQ warm-vs-cold-vs-disabled contract — identical
+# candidates, truncation points and accuracy ranges across sessions
+# sharing one cache — is pinned by the TestInferHalfCache* and
+# TestHalfCache* tests, which ran under -race above.)
+go run ./cmd/csi-analyze -manifest "$obstmp/man.json" -run "$obstmp/run.json" \
+    -half-cache-mb 64 \
+    -trace-out "$obstmp/infer3.trace.jsonl" -metrics "$obstmp/infer3.metrics.txt" > /dev/null
+cmp "$obstmp/infer3.trace.jsonl" testdata/obs/infer.trace.jsonl
+cmp "$obstmp/infer3.metrics.txt" testdata/obs/infer.metrics.txt
+
+echo "== session throughput smoke (quick)"
+# One iteration of each throughput stream (serial + parallel, SH + SQ with
+# a shared warm half-cache) so the harness behind
+# scripts/bench_throughput.sh cannot rot without failing the gate.
+go run ./scripts/throughput -quick > /dev/null
+
 echo "== capture decoder fuzz smoke"
 # A few seconds of coverage-guided fuzzing over each run decoder. The static
 # seed corpora under internal/capture/testdata/fuzz/ always replay as part of

@@ -1,0 +1,216 @@
+// throughput measures sustained core.Infer session throughput: how many
+// full inferences per second one process sustains over a stream of distinct
+// pre-captured sessions, serially and across GOMAXPROCS-wide workers, plus
+// the allocator cost per session and the process's peak RSS. The numbers
+// land in BENCH_throughput.json via scripts/bench_throughput.sh (wired into
+// `make bench`); check.sh runs a -quick single-iteration smoke.
+//
+// Each iteration analyzes a fresh Trace view of a pre-generated session
+// (same packets, cold per-trace memo), modeling a monitor that receives a
+// new session capture and runs one inference on it — session generation
+// (the simulator) is excluded from the timed region. The SQ stream runs
+// with the process-wide half-enumeration cache enabled, as a fleet monitor
+// would (-half-cache-mb), so cross-session sharing shows up as throughput.
+//
+// Usage: go run ./scripts/throughput [-quick] [-json out.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csi/internal/capture"
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/session"
+)
+
+type fixture struct {
+	man *media.Manifest
+	run *capture.Run
+	p   core.Params
+}
+
+type result struct {
+	Name             string  `json:"name"`
+	Workers          int     `json:"workers"`
+	Sessions         int     `json:"sessions"`
+	Seconds          float64 `json:"seconds"`
+	SessionsPerSec   float64 `json:"sessions_per_sec"`
+	AllocsPerSession float64 `json:"allocs_per_session"`
+	BytesPerSession  float64 `json:"bytes_per_session"`
+	PeakRSSBytes     int64   `json:"peak_rss_bytes"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "throughput:", err)
+	os.Exit(1)
+}
+
+// buildFixtures pre-generates n distinct sessions of one design (different
+// assets, bandwidth traces and player seeds), outside any timed region.
+func buildFixtures(d session.Design, n int, sessionSec, videoSec float64) []fixture {
+	fixes := make([]fixture, n)
+	audio := 0
+	if d.Separate() {
+		audio = 1
+	}
+	for i := range fixes {
+		man, err := media.Encode(media.EncodeConfig{
+			Name: "tp", Seed: int64(40 + i), DurationSec: videoSec, ChunkDur: 5,
+			TargetPASR: 1.5, AudioTracks: audio,
+		})
+		if err != nil {
+			fail(err)
+		}
+		res, err := session.Run(session.Config{
+			Design:   d,
+			Manifest: man,
+			Bandwidth: netem.GenerateCellular(netem.CellularConfig{
+				Seed: int64(7 + i), MeanBps: 6_000_000, Variability: 0.4,
+			}),
+			Duration: sessionSec,
+			Seed:     int64(7 + i),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fixes[i] = fixture{man: man, run: res.Run, p: core.Params{MediaHost: man.Host, Mux: d == session.SQ}}
+	}
+	return fixes
+}
+
+// freshTrace returns a new Trace sharing the captured packets but with a
+// cold per-trace memo, modeling a newly delivered session capture: each
+// timed inference pays the full per-session analysis cost.
+func freshTrace(t *capture.Trace) *capture.Trace {
+	return &capture.Trace{Packets: t.Packets, SNI: t.SNI, DNS: t.DNS, ServerIP: t.ServerIP}
+}
+
+// peakRSS reads VmHWM from /proc/self/status (Linux); 0 when unavailable.
+func peakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// runStream infers `iters` sessions round-robin over the fixtures with the
+// given worker width, returning throughput and allocator deltas.
+func runStream(name string, fixes []fixture, iters, workers int, hc *core.HalfCache) result {
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	infer := func(i int) {
+		fx := fixes[i%len(fixes)]
+		p := fx.p
+		p.HalfCache = hc
+		if _, err := core.Infer(fx.man, freshTrace(fx.run.Trace), p); err != nil {
+			fail(fmt.Errorf("%s session %d: %w", name, i, err))
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < iters; i++ {
+			infer(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= iters {
+						return
+					}
+					infer(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	return result{
+		Name:             name,
+		Workers:          workers,
+		Sessions:         iters,
+		Seconds:          elapsed,
+		SessionsPerSec:   float64(iters) / elapsed,
+		AllocsPerSession: float64(ms1.Mallocs-ms0.Mallocs) / float64(iters),
+		BytesPerSession:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters),
+		PeakRSSBytes:     peakRSS(),
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "single-iteration smoke (CI): tiny sessions, 1 iteration per mode")
+	jsonOut := flag.String("json", "", "write results as a JSON array to this path")
+	cacheMB := flag.Int64("half-cache-mb", 64, "process-wide half-enumeration cache for the SQ stream, MiB (0 = disabled)")
+	flag.Parse()
+
+	// Full mode: the paper's 10-minute sessions, enough iterations for a
+	// sustained rate. Quick mode: short sessions, one iteration per mode —
+	// exercises every code path in a few seconds.
+	nFix, iters := 4, 32
+	sessionSec, videoSec := 600.0, 900.0
+	sqSessionSec, sqIters := 150.0, 8
+	if *quick {
+		nFix, iters = 2, 1
+		sessionSec, videoSec = 120.0, 300.0
+		sqSessionSec, sqIters = 60.0, 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+
+	sh := buildFixtures(session.SH, nFix, sessionSec, videoSec)
+	sq := buildFixtures(session.SQ, nFix, sqSessionSec, videoSec)
+	hc := core.NewHalfCache(*cacheMB << 20)
+
+	results := []result{
+		runStream("sh_serial", sh, iters, 1, nil),
+		runStream("sh_parallel", sh, iters, workers, nil),
+		runStream("sq_serial_halfcache", sq, sqIters, 1, hc),
+		runStream("sq_parallel_halfcache", sq, sqIters, workers, hc),
+	}
+	for _, r := range results {
+		fmt.Printf("%-22s workers=%-2d sessions=%-3d %8.2f sess/s  %10.0f B/sess  %8.0f allocs/sess  rss %d MiB\n",
+			r.Name, r.Workers, r.Sessions, r.SessionsPerSec, r.BytesPerSession, r.AllocsPerSession, r.PeakRSSBytes>>20)
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+}
