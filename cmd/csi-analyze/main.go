@@ -201,26 +201,15 @@ func main() {
 	}
 
 	if inf.Best != nil {
-		var chunks []qoe.Chunk
-		for i, a := range inf.Best.Assignments {
-			r := inf.Requests[i]
-			c := qoe.Chunk{ReqTime: r.Time, DoneTime: r.LastData, Audio: a.Audio}
-			switch {
-			case a.Noise:
-				continue
-			case a.Audio:
-				c.Track = a.AudioTrack
-				c.Size = man.Tracks[a.AudioTrack].Sizes[0]
-			default:
-				c.Track = a.Ref.Track
-				c.Index = a.Ref.Index
-				c.Size = man.Size(a.Ref)
-			}
-			chunks = append(chunks, c)
-			if *verbose {
-				if a.Audio {
+		chunks := inf.QoEChunks(man)
+		if *verbose {
+			for i, a := range inf.Best.Assignments {
+				r := inf.Requests[i]
+				switch {
+				case a.Noise:
+				case a.Audio:
 					fmt.Printf("  req %3d t=%8.2f audio track %d\n", i, r.Time, a.AudioTrack)
-				} else {
+				default:
 					fmt.Printf("  req %3d t=%8.2f video track %d index %d (%d bytes)\n",
 						i, r.Time, a.Ref.Track, a.Ref.Index, man.Size(a.Ref))
 				}

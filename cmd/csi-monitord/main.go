@@ -1,0 +1,255 @@
+// csi-monitord is the long-running monitoring daemon: it ingests an
+// interleaved multi-flow frame stream (JSONL on stdin, or a recorded frame
+// file) and runs the CSI inference incrementally over every flow, emitting
+// one result line per finalized flow. SIGINT/SIGTERM drains gracefully:
+// every live flow is flushed to a final (possibly partial) inference before
+// exit.
+//
+// Modes:
+//
+//	csi-monitord -manifest m.json                      # live: frames on stdin
+//	csi-monitord -manifest m.json -replay frames.jsonl # deterministic replay
+//	csi-monitord -manifest m.json -batch  frames.jsonl # offline reference pipeline
+//	csi-monitord -pack -o frames.jsonl a.json b.json   # record runs -> frame stream
+//
+// Replay and batch produce byte-identical output over the same frames (the
+// repository's replay determinism gate); live mode adds wall-clock-driven
+// behavior (shedding, solve deadlines) that replay deliberately excludes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"csi/internal/capture"
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/obs"
+	"csi/internal/obs/live"
+	"csi/internal/stream"
+)
+
+func main() {
+	var (
+		manifest  = flag.String("manifest", "", "manifest file (.json, .mpd or .m3u8); required except with -pack")
+		mux       = flag.Bool("mux", false, "transport multiplexing analysis (SQ designs)")
+		host      = flag.String("host", "", "media SNI host (default: manifest host)")
+		replay    = flag.String("replay", "", "replay a recorded frame stream deterministically (blocking ingest, no wall clock)")
+		batch     = flag.String("batch", "", "run the offline batch pipeline over a recorded frame stream (reference for replay identity)")
+		pack      = flag.Bool("pack", false, "pack capture run JSONs (args) into one interleaved frame stream")
+		out       = flag.String("o", "", "output path (default stdout)")
+		maxFlows  = flag.Int("max-flows", 64, "flow table cap; beyond it the least-recently-active flow is evicted to a partial result")
+		memBudget = flag.Int64("flow-mem-budget", 64<<20, "per-flow buffered-bytes budget; a breaching flow is finalized early with a flow_evicted warning")
+		shed      = flag.String("shed-policy", stream.ShedDrop, "ingest overload policy: drop (shed newest) or block (back-pressure)")
+		ringSize  = flag.Int("ring", 4096, "ingest ring capacity (frames)")
+		resolve   = flag.Int("resolve-every", 0, "re-solve a flow after this many new packets (0 = solve only at finalization)")
+		budget    = flag.Int64("work-budget", 0, "deterministic per-solve guard step budget (0 = unbounded)")
+		deadline  = flag.Float64("solve-deadline", 0, "wall-clock per-solve deadline seconds, live mode only (0 = none)")
+		quarAfter = flag.Int("quarantine-after", 3, "park a flow after this many consecutive panicking solves (0 = never)")
+		idleEvict = flag.Float64("idle-evict", 0, "evict flows idle for this many seconds of stream (virtual) time (0 = never)")
+		workers   = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		cacheMB   = flag.Int64("half-cache-mb", 0, "share MUX half enumerations across flows through a process cache of this many MiB (0 = disabled; never changes results)")
+		degrade   = flag.Bool("degrade", true, "degrade impaired flows to partial inferences with warnings instead of failing them")
+		serve     = flag.String("serve", "", "serve the live ops plane (/metrics, /statusz incl. the flow table, /events, pprof) on this address")
+	)
+	flag.Parse()
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "csi-monitord:", err)
+		os.Exit(1)
+	}
+
+	output := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "csi-monitord:", err)
+			}
+		}()
+		output = f
+	}
+
+	if *pack {
+		if err := packRuns(flag.Args(), output); err != nil {
+			die(err)
+		}
+		return
+	}
+	if *manifest == "" {
+		die(fmt.Errorf("-manifest is required"))
+	}
+	man, err := media.LoadManifestFile(*manifest, *host)
+	if err != nil {
+		die(err)
+	}
+	if *replay != "" && *batch != "" {
+		die(fmt.Errorf("-replay and -batch are mutually exclusive"))
+	}
+
+	p := core.Params{MediaHost: *host, Mux: *mux, Degrade: *degrade}
+	if p.MediaHost == "" {
+		p.MediaHost = man.Host
+	}
+	halfCache := core.NewHalfCache(*cacheMB << 20)
+	p.HalfCache = halfCache
+
+	opts := stream.Options{
+		Manifest:        man,
+		Params:          p,
+		MaxFlows:        *maxFlows,
+		FlowMemBudget:   *memBudget,
+		RingSize:        *ringSize,
+		ShedPolicy:      *shed,
+		ResolveEvery:    *resolve,
+		WorkBudget:      *budget,
+		QuarantineAfter: *quarAfter,
+		IdleEvictSec:    *idleEvict,
+		Workers:         *workers,
+	}
+
+	if *batch != "" {
+		frames, err := loadFrames(*batch)
+		if err != nil {
+			die(err)
+		}
+		if err := stream.WriteResults(output, stream.Batch(frames, opts)); err != nil {
+			die(err)
+		}
+		return
+	}
+
+	liveMode := *replay == ""
+	var input io.Reader = os.Stdin
+	if !liveMode {
+		f, err := os.Open(*replay)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		input = f
+		// Replay is the deterministic mode: every frame is processed
+		// (back-pressure, no shedding) and no wall time is read.
+		opts.ShedPolicy = stream.ShedBlock
+	} else {
+		opts.Clock = stream.WallClock()
+		opts.SolveDeadlineSec = *deadline
+	}
+
+	// The monitor's stream.* counters live in this tracer's registry; the
+	// live plane serves it read-only on /metrics.
+	opts.Obs = obs.New(nil, nil)
+	var srv *live.Server
+	if *serve != "" {
+		ring := live.NewRing(4096)
+		opts.Obs = obs.New(nil, ring)
+		srv, err = live.Start(live.Options{
+			Addr: *serve, Program: "csi-monitord",
+			Registry: opts.Obs.Metrics(), Ring: ring,
+			Extra: []*obs.Registry{halfCache.Registry()},
+		})
+		if err != nil {
+			die(err)
+		}
+		defer func() { _ = srv.Shutdown(2 * time.Second) }()
+		opts.Live = srv
+		fmt.Fprintln(os.Stderr, "csi-monitord: ops plane on http://"+srv.Addr())
+	}
+
+	// Stream each result as it commits in live mode; replay writes the
+	// drained set at once (identical contents, deterministic bytes).
+	if liveMode {
+		opts.OnResult = func(r stream.Result) {
+			if err := stream.WriteResults(output, []stream.Result{r}); err != nil {
+				fmt.Fprintln(os.Stderr, "csi-monitord:", err)
+			}
+		}
+	}
+
+	mon := stream.New(opts)
+	if srv != nil {
+		srv.SetStatus("monitor", mon.Status)
+		srv.SetReady(true)
+	}
+
+	// The reader feeds the monitor until EOF or a termination signal; the
+	// signal path stops ingestion and drains every live flow to a final
+	// partial inference.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGINT, syscall.SIGTERM)
+	readErr := make(chan error, 1)
+	go func() {
+		fr := stream.NewFrameReader(input)
+		for {
+			f, err := fr.Next()
+			if err == io.EOF {
+				readErr <- nil
+				return
+			}
+			if err != nil {
+				readErr <- err
+				return
+			}
+			mon.Ingest(f)
+		}
+	}()
+
+	var firstErr error
+	select {
+	case sig := <-sigC:
+		fmt.Fprintf(os.Stderr, "csi-monitord: %v: draining %s\n", sig, "live flows")
+	case firstErr = <-readErr:
+	}
+	signal.Stop(sigC)
+	results := mon.Drain()
+	if !liveMode {
+		if err := stream.WriteResults(output, results); err != nil {
+			die(err)
+		}
+	}
+	if srv != nil {
+		srv.SetReady(false)
+	}
+	if firstErr != nil {
+		die(firstErr)
+	}
+}
+
+func loadFrames(path string) ([]stream.Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return stream.ReadFrames(f)
+}
+
+// packRuns merges capture run JSONs into one interleaved frame recording;
+// flows are named by file base name (extension stripped).
+func packRuns(paths []string, w io.Writer) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-pack needs capture run files as arguments")
+	}
+	runs := make(map[string]*capture.Trace, len(paths))
+	for _, path := range paths {
+		run, err := capture.LoadJSON(path)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if _, dup := runs[name]; dup {
+			return fmt.Errorf("duplicate flow name %q (from %s)", name, path)
+		}
+		runs[name] = run.Trace
+	}
+	return stream.WriteFrames(w, stream.Pack(runs))
+}

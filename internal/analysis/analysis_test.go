@@ -112,6 +112,8 @@ var taintAuditFiles = map[string]string{
 	"internal/guard/wallclock.go":     "opt-in -deadline liveness backstop",
 	"internal/obs/export.go":          "wallNow behind the WallClockMeta opt-in",
 	"internal/obs/live/live.go":       "-serve stage timing; durations stay in the ops plane's own registry",
+	"internal/stream/clock.go":        "live-mode monitor clock; replay passes a nil Clock and reads no wall time",
+	"internal/stream/stream.go":       "ingest/handoff selects; ordering never reaches a result (replay gate)",
 }
 
 func TestTaintAuditInventory(t *testing.T) {

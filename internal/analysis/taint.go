@@ -49,7 +49,7 @@ var Taint = &Analyzer{
 
 // taintSinkPaths are the module-relative package dirs whose exported
 // functions are treated as determinism sinks.
-var taintSinkPaths = []string{".", "internal/core", "internal/experiments", "internal/obs"}
+var taintSinkPaths = []string{".", "internal/core", "internal/experiments", "internal/obs", "internal/stream"}
 
 // A taintSource is one nondeterminism source site inside a module function.
 type taintSource struct {

@@ -263,13 +263,55 @@ func TestByConnMemoized(t *testing.T) {
 	tap(packet.View{Dir: packet.Down, ConnID: 9, Size: 100}, 99)
 	after := tr.ByConn()
 	if _, ok := after[9]; !ok {
-		t.Fatalf("memo not invalidated: appended connection missing from ByConn")
+		t.Fatalf("memo not advanced: appended connection missing from ByConn")
+	}
+}
+
+// TestByConnIncrementalMatchesRebuild pins the streaming-ingest contract:
+// alternating Tap batches with ByConn must always yield exactly the split a
+// cold rebuild of the full trace would produce — same connections, same
+// per-connection packet order — and the incremental path must not stale any
+// connection that grew.
+func TestByConnIncrementalMatchesRebuild(t *testing.T) {
+	tr := NewTrace()
+	tap := tr.Tap()
+	emit := func(n int, base float64) {
+		for i := 0; i < n; i++ {
+			tap(packet.View{Dir: packet.Down, ConnID: 1 + (i % 4), Size: int64(100 + i)}, base+float64(i))
+		}
+	}
+	emit(13, 0)
+	_ = tr.ByConn() // warm the memo mid-stream
+	emit(7, 100)
+	_ = tr.ByConn()
+	emit(29, 200) // grows existing conns and adds new ones
+	tap(packet.View{Dir: packet.Up, ConnID: 77, Size: 60}, 300)
+	got := tr.ByConn()
+
+	cold := NewTrace()
+	cold.Packets = append([]packet.View(nil), tr.Packets...)
+	want := cold.ByConn()
+	if len(got) != len(want) {
+		t.Fatalf("incremental split has %d conns, cold rebuild %d", len(got), len(want))
+	}
+	for id, w := range want {
+		g := got[id]
+		if len(g) != len(w) {
+			t.Fatalf("conn %d: incremental has %d packets, cold rebuild %d", id, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("conn %d packet %d: incremental %+v != rebuild %+v", id, i, g[i], w[i])
+			}
+		}
 	}
 }
 
 // TestByConnAppendDoesNotAlias: the handed-out slices are full-capacity
-// windows of one backing array; appending to one connection's slice must
-// reallocate, never overwrite a neighboring connection's packets.
+// clips; appending to one connection's slice must reallocate, never
+// overwrite a neighboring connection's packets (first build) or the memo's
+// private growth room (incremental advance). A Tap after ByConn must
+// neither alias the handed-out slices nor stale the memo.
 func TestByConnAppendDoesNotAlias(t *testing.T) {
 	tr := NewTrace()
 	tap := tr.Tap()
@@ -279,5 +321,23 @@ func TestByConnAppendDoesNotAlias(t *testing.T) {
 	_ = append(m[1], packet.View{ConnID: 1, Size: 999}) // stray append
 	if got := tr.ByConn()[2][0].Size; got != 222 {
 		t.Fatalf("stray append clobbered neighboring connection: size %d, want 222", got)
+	}
+
+	// Incremental advance: tap more packets into conn 1 so its private
+	// buffer reallocates with spare capacity, then repeat the stray-append
+	// probe against the re-clipped view.
+	tap(packet.View{Dir: packet.Down, ConnID: 1, Size: 112}, 2)
+	tap(packet.View{Dir: packet.Down, ConnID: 2, Size: 223}, 3)
+	m2 := tr.ByConn()
+	if len(m2[1]) != 2 || m2[1][1].Size != 112 {
+		t.Fatalf("memo stale after Tap: conn 1 = %+v", m2[1])
+	}
+	_ = append(m2[1], packet.View{ConnID: 1, Size: 888}) // stray append into growth room?
+	tap(packet.View{Dir: packet.Down, ConnID: 1, Size: 113}, 4)
+	if got := tr.ByConn()[1][2].Size; got != 113 {
+		t.Fatalf("stray append leaked into the memo's growth buffer: size %d, want 113", got)
+	}
+	if got := tr.ByConn()[2][1].Size; got != 223 {
+		t.Fatalf("incremental growth clobbered neighboring connection: size %d, want 223", got)
 	}
 }

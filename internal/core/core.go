@@ -30,6 +30,7 @@ import (
 	"csi/internal/media"
 	"csi/internal/obs"
 	"csi/internal/packet"
+	"csi/internal/qoe"
 )
 
 // Protocol error bounds measured in §3.2 of the paper.
@@ -133,6 +134,16 @@ type Params struct {
 	// warm cache changes wall-clock time and allocations but never a result.
 	// Nil disables cross-session sharing.
 	HalfCache *HalfCache
+
+	// Memo, when non-nil, makes Step 1 resumable across repeated Infers
+	// over one growing trace: per-connection request extraction (and SQ
+	// grouping) is cached keyed by the connection's packet count, so a
+	// re-solve of a live flow rescans only the connections that received
+	// packets since the last solve. A memo belongs to one flow and is not
+	// safe for concurrent use; hits replay the cached requests, warnings
+	// and guard charges byte-identically to a fresh scan (see resume.go),
+	// so a warm memo never changes a result. Nil disables resumption.
+	Memo *EstimateMemo
 
 	// Guard bounds the inference: a work-metered (and optionally
 	// wall-clock-deadlined) cancellation token checked at cheap
@@ -267,6 +278,34 @@ func (inf *Inference) Confidences() []float64 {
 		out[i] = conf(r.Confidence)
 	}
 	return out
+}
+
+// QoEChunks converts the best matching sequence into qoe.Chunk values
+// (noise assignments dropped), ready for qoe.Analyze. The lookup of true
+// chunk sizes needs the same manifest the inference ran against. Returns
+// nil when the inference has no best sequence (MUX mode, or zero matches).
+func (inf *Inference) QoEChunks(man *media.Manifest) []qoe.Chunk {
+	if inf.Best == nil {
+		return nil
+	}
+	var chunks []qoe.Chunk
+	for i, a := range inf.Best.Assignments {
+		if a.Noise {
+			continue
+		}
+		r := inf.Requests[i]
+		c := qoe.Chunk{ReqTime: r.Time, DoneTime: r.LastData, Audio: a.Audio}
+		if a.Audio {
+			c.Track = a.AudioTrack
+			c.Size = man.Tracks[a.AudioTrack].Sizes[0]
+		} else {
+			c.Track = a.Ref.Track
+			c.Index = a.Ref.Index
+			c.Size = man.Size(a.Ref)
+		}
+		chunks = append(chunks, c)
+	}
+	return chunks
 }
 
 // Request is one detected chunk request with its estimated response size

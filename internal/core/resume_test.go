@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"csi/internal/capture"
+	"csi/internal/core"
+	"csi/internal/faults"
+	"csi/internal/guard"
+	"csi/internal/media"
+	"csi/internal/netem"
+	"csi/internal/session"
+)
+
+// growInfer replays src's packets into a fresh trace in `steps` batches and
+// runs core.Infer after every batch with one shared EstimateMemo — the exact
+// shape of the streaming daemon's mid-flow re-solves over a growing flow.
+// Returns the final (full-trace) inference. mk customizes the per-solve
+// Params before each solve (e.g. to install a fresh guard).
+func growInfer(t *testing.T, man *media.Manifest, src *capture.Trace, steps int, mk func() core.Params) *core.Inference {
+	t.Helper()
+	grown := capture.NewTrace()
+	tap := grown.Tap()
+	memo := core.NewEstimateMemo()
+	n := len(src.Packets)
+	var inf *core.Inference
+	for s := 1; s <= steps; s++ {
+		hi := n * s / steps
+		for _, v := range src.Packets[len(grown.Packets):hi] {
+			tap(v, 0)
+		}
+		p := mk()
+		p.Memo = memo
+		var err error
+		inf, err = core.Infer(man, grown, p)
+		// A mid-growth prefix can end in a truncated download whose estimate
+		// matches no chunk; the daemon treats such solves as provisional and
+		// keeps going. Only the final full-trace solve must succeed.
+		if err != nil && s == steps {
+			t.Fatalf("final Infer: %v", err)
+		}
+	}
+	return inf
+}
+
+// requireSameInference asserts byte-exact equality of every inference field
+// except SequenceCount, which gets the last-ULP relative tolerance (its
+// float accumulation order in the parallel search kernel varies with
+// goroutine scheduling, independent of the memo).
+func requireSameInference(t *testing.T, got, want *core.Inference) {
+	t.Helper()
+	if got.Proto != want.Proto || got.Mux != want.Mux || got.Truncated != want.Truncated {
+		t.Fatalf("shape mismatch: got {%v %v %v} want {%v %v %v}",
+			got.Proto, got.Mux, got.Truncated, want.Proto, want.Mux, want.Truncated)
+	}
+	if !reflect.DeepEqual(got.Requests, want.Requests) {
+		t.Fatalf("requests diverged:\n got %+v\nwant %+v", got.Requests, want.Requests)
+	}
+	if !reflect.DeepEqual(got.Groups, want.Groups) {
+		t.Fatalf("groups diverged:\n got %+v\nwant %+v", got.Groups, want.Groups)
+	}
+	if !reflect.DeepEqual(got.Warnings, want.Warnings) {
+		t.Fatalf("warnings diverged:\n got %+v\nwant %+v", got.Warnings, want.Warnings)
+	}
+	if !reflect.DeepEqual(got.Best, want.Best) {
+		t.Fatalf("best sequence diverged:\n got %+v\nwant %+v", got.Best, want.Best)
+	}
+	if d := math.Abs(got.SequenceCount - want.SequenceCount); d > 1e-12*math.Max(math.Abs(got.SequenceCount), math.Abs(want.SequenceCount)) {
+		t.Fatalf("sequence count diverged: got %g want %g", got.SequenceCount, want.SequenceCount)
+	}
+}
+
+func resumeFixture(t *testing.T, d session.Design, seed int64) (*media.Manifest, *capture.Run) {
+	t.Helper()
+	man := manifestFor(t, d)
+	res, err := session.Run(session.Config{
+		Design:    d,
+		Manifest:  man,
+		Bandwidth: netem.GenerateCellular(netem.CellularConfig{Seed: seed, MeanBps: 5_000_000, Variability: 0.4}),
+		Duration:  150,
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatalf("session.Run(%v): %v", d, err)
+	}
+	return man, res.Run
+}
+
+// TestResumeSHMatchesBatch pins the tentpole exactness contract on the
+// no-MUX path: five incremental memoized solves over a growing trace must
+// end at the same inference as one batch solve over the full trace.
+func TestResumeSHMatchesBatch(t *testing.T) {
+	man, run := resumeFixture(t, session.SH, 31)
+	p := core.Params{MediaHost: "media.example.com"}
+	batch, err := core.Infer(man, run.Trace, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := growInfer(t, man, run.Trace, 5, func() core.Params { return p })
+	requireSameInference(t, grown, batch)
+}
+
+// TestResumeSQMatchesBatch is the same contract on the MUX path, where the
+// memo caches the SQ traffic grouping rather than request extraction. The
+// solves share one process HalfCache exactly like the daemon's do — the
+// PR 8 warm/cold byte-identity contract is what makes that safe.
+func TestResumeSQMatchesBatch(t *testing.T) {
+	man, run := resumeFixture(t, session.SQ, 32)
+	hc := core.NewHalfCache(256 << 20)
+	p := core.Params{MediaHost: "media.example.com", Mux: true, HalfCache: hc}
+	batch, err := core.Infer(man, run.Trace, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := growInfer(t, man, run.Trace, 5, func() core.Params { return p })
+	requireSameInference(t, grown, batch)
+}
+
+// TestResumeFaultedMatchesBatch grows an impaired capture (bursty loss,
+// snaplen clipping, cross traffic) under Degrade and checks the memoized
+// result still matches batch — warnings, gap repairs and the cross-traffic
+// filter must replay byte-identically from the memo.
+func TestResumeFaultedMatchesBatch(t *testing.T) {
+	man, run := resumeFixture(t, session.SH, 33)
+	faulted, _ := faults.Apply(run, faults.Spec{
+		Seed: 7, DropGood: 0.001, DropBad: 0.2, PGB: 0.01, PBG: 0.3,
+		Snaplen: 96, CrossFlows: 2,
+	}, nil)
+	p := core.Params{MediaHost: "media.example.com", Degrade: true}
+	batch, err := core.Infer(man, faulted.Trace, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := growInfer(t, man, faulted.Trace, 4, func() core.Params { return p })
+	requireSameInference(t, grown, batch)
+}
+
+// TestResumeGuardBudgetMatchesBatch checks that a memo hit charges the
+// guard exactly what the elided scan would have: with a small work budget
+// (fresh per solve, like the daemon's per-solve guards) the final memoized
+// solve must truncate at the same point — same warnings, same partial
+// result — as a budgeted batch solve.
+func TestResumeGuardBudgetMatchesBatch(t *testing.T) {
+	man, run := resumeFixture(t, session.SH, 34)
+	const budget = 4000
+	batch, err := core.Infer(man, run.Trace, core.Params{
+		MediaHost: "media.example.com", Guard: guard.New(budget),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := growInfer(t, man, run.Trace, 5, func() core.Params {
+		return core.Params{MediaHost: "media.example.com", Guard: guard.New(budget)}
+	})
+	requireSameInference(t, grown, batch)
+}

@@ -252,23 +252,7 @@ func scoreFaultRun(man *media.Manifest, run *capture.Run, d session.Design, sc S
 	o.zero = inf.SequenceCount == 0
 	o.conf = stats.Mean(inf.Confidences())
 	if !inf.Mux && inf.Best != nil {
-		var chunks []qoe.Chunk
-		for i, a := range inf.Best.Assignments {
-			if a.Noise {
-				continue
-			}
-			r := inf.Requests[i]
-			c := qoe.Chunk{ReqTime: r.Time, DoneTime: r.LastData, Audio: a.Audio}
-			if a.Audio {
-				c.Track = a.AudioTrack
-				c.Size = man.Tracks[a.AudioTrack].Sizes[0]
-			} else {
-				c.Track = a.Ref.Track
-				c.Index = a.Ref.Index
-				c.Size = man.Size(a.Ref)
-			}
-			chunks = append(chunks, c)
-		}
+		chunks := inf.QoEChunks(man)
 		rep, qerr := qoe.Analyze(chunks, qoe.Config{
 			ChunkDur: man.ChunkDur, Horizon: sc.SessionSec, TolerateGaps: true,
 		})

@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"sort"
+	"sync"
+)
+
+// Quarantine is the consecutive-failure tracker behind Policy.QuarantineAfter,
+// exported so other supervisors (the streaming monitor's per-flow solve loop)
+// can share the exact semantics: a key that fails `after` times in a row is
+// parked until the tracker is discarded; any success resets its streak. Safe
+// for concurrent use. A nil tracker never parks and ignores records, so
+// callers can thread an optional policy without branching.
+type Quarantine struct {
+	mu     sync.Mutex
+	after  int
+	streak map[string]int
+	parked map[string]bool
+}
+
+// NewQuarantine returns a tracker parking keys after `after` consecutive
+// failures; after <= 0 returns nil (disabled).
+func NewQuarantine(after int) *Quarantine {
+	if after <= 0 {
+		return nil
+	}
+	return &Quarantine{after: after, streak: make(map[string]int), parked: make(map[string]bool)}
+}
+
+// Parked reports whether key is quarantined.
+func (q *Quarantine) Parked(key string) bool {
+	if q == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.parked[key]
+}
+
+// Record notes one outcome for key and returns true when this very record
+// parked it (the transition edge, for one-shot warnings). Outcomes recorded
+// against an already-parked key are ignored.
+func (q *Quarantine) Record(key string, ok bool) bool {
+	if q == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.parked[key] {
+		return false
+	}
+	if ok {
+		q.streak[key] = 0
+		return false
+	}
+	q.streak[key]++
+	if q.streak[key] >= q.after {
+		q.parked[key] = true
+		return true
+	}
+	return false
+}
+
+// Keys returns the parked keys, sorted, for status pages.
+func (q *Quarantine) Keys() []string {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, 0, len(q.parked))
+	for k := range q.parked {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -144,9 +144,8 @@ func Run(tasks []Task, pol Policy) ([]Result, Stats) {
 		mu          sync.Mutex
 		active      = make(map[*guard.Ctx]bool)
 		interrupted bool
-		failStreak  = make(map[string]int)
-		quarantined = make(map[string]bool)
 	)
+	quar := NewQuarantine(pol.QuarantineAfter)
 
 	// Interrupt watcher: cancel every in-flight guard once, then exit.
 	// The done channel bounds its lifetime so an unused Interrupt channel
@@ -236,14 +235,13 @@ func Run(tasks []Task, pol Policy) ([]Result, Stats) {
 
 			mu.Lock()
 			skip := interrupted
-			quar := quarantined[key]
 			mu.Unlock()
 			switch {
 			case skip:
 				res.Err = ErrInterrupted
 				res.Cancelled = true
 				cCancels.Inc()
-			case quar:
+			case quar.Parked(key):
 				res.Err = ErrQuarantined
 				res.Quarantined = true
 				cQuarantines.Inc()
@@ -258,16 +256,9 @@ func Run(tasks []Task, pol Policy) ([]Result, Stats) {
 				cFailed.Inc()
 			}
 
-			mu.Lock()
-			if res.Err != nil && !res.Quarantined {
-				failStreak[key]++
-				if pol.QuarantineAfter > 0 && failStreak[key] >= pol.QuarantineAfter {
-					quarantined[key] = true
-				}
-			} else if res.Err == nil {
-				failStreak[key] = 0
+			if !res.Quarantined {
+				quar.Record(key, res.Err == nil)
 			}
-			mu.Unlock()
 			results[i] = res
 		}(i)
 	}

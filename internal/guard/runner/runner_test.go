@@ -260,3 +260,33 @@ func TestBackoffDeterminismAcrossTasks(t *testing.T) {
 		t.Fatalf("capped backoff too large: %v", d)
 	}
 }
+
+func TestQuarantineTracker(t *testing.T) {
+	if NewQuarantine(0) != nil {
+		t.Fatalf("after=0 must disable the tracker")
+	}
+	var nilQ *Quarantine
+	if nilQ.Parked("x") || nilQ.Record("x", false) || nilQ.Keys() != nil {
+		t.Fatalf("nil tracker must be inert")
+	}
+	q := NewQuarantine(2)
+	if q.Record("a", false) {
+		t.Fatalf("one failure must not park at after=2")
+	}
+	q.Record("a", true) // success resets the streak
+	q.Record("a", false)
+	if !q.Record("a", false) {
+		t.Fatalf("second consecutive failure must park and report the edge")
+	}
+	if q.Record("a", false) {
+		t.Fatalf("records on a parked key must not re-report the edge")
+	}
+	if !q.Parked("a") || q.Parked("b") {
+		t.Fatalf("parked set wrong: %v", q.Keys())
+	}
+	q.Record("b", false)
+	q.Record("b", false)
+	if got := q.Keys(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Keys() = %v, want [a b]", got)
+	}
+}

@@ -1,0 +1,21 @@
+package stream
+
+import "time"
+
+// This file is the streaming plane's sanctioned wall-clock scope — the only
+// file in internal/stream allowed to read real time (.csi-vet.conf pins it;
+// TestTaintAuditInventory audits that the pin still fires). Live ingest uses
+// it to stamp frame arrival for the ops-plane lag histogram and to arm
+// per-solve guard deadlines; replay mode passes Options.Clock == nil, so a
+// replayed monitor touches no wall time at all — which is what makes
+// `-replay` output byte-identical to the batch pipeline over the same
+// frames.
+
+// WallClock returns the monitor's wall-time source: seconds since the call,
+// monotonic. The indirection (a constructor returning a closure, mirroring
+// guard.WallClock) keeps every deterministic caller able to substitute a
+// virtual clock while the daemon's main wires the real one.
+func WallClock() func() float64 {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}

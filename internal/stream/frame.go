@@ -1,0 +1,140 @@
+// Package stream is the live-monitoring plane of CSI: a long-running
+// monitor that ingests an interleaved multi-flow packet stream and runs the
+// core inference pipeline incrementally over each flow as it grows, instead
+// of once over a finished capture. The robustness envelope — bounded ingest
+// ring with shedding, per-flow memory budgets with LRU eviction, per-solve
+// guard budgets with panic containment and quarantine, graceful drain — is
+// the point: one hostile or pathological flow degrades to a partial result
+// with structured warnings while its siblings keep streaming.
+//
+// Determinism contract: a monitor configured for replay (blocking ingest,
+// no eviction, nil Clock) produces byte-identical results to the batch
+// pipeline (Batch) over the same frame sequence. The incremental machinery
+// — capture.Trace's ByConn append path, core's EstimateMemo, the shared
+// HalfCache — is exactly the machinery whose warm/cold byte-identity the
+// core packages pin, so mid-flow provisional solves can run at any cadence
+// (or be skipped under load) without changing any final inference.
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"csi/internal/capture"
+	"csi/internal/packet"
+)
+
+// Frame is one element of the monitor's ingest stream: a packet observed on
+// a named flow, or a close marker ending the flow (the streaming analogue
+// of a capture file ending). The JSONL encoding is the daemon's wire
+// format.
+type Frame struct {
+	Flow  string `json:"flow"`
+	Close bool   `json:"close,omitempty"`
+	// Packet is the observed packet view; zero-valued on close frames.
+	Packet packet.View `json:"packet"`
+}
+
+// WriteFrames encodes frames as JSONL.
+func WriteFrames(w io.Writer, frames []Frame) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range frames {
+		if err := enc.Encode(&frames[i]); err != nil {
+			return fmt.Errorf("stream: encoding frame %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("stream: writing frames: %w", err)
+	}
+	return nil
+}
+
+// FrameReader decodes a JSONL frame stream incrementally.
+type FrameReader struct {
+	dec  *json.Decoder
+	line int
+}
+
+// NewFrameReader reads frames from r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Next returns the next frame, io.EOF at end of stream, or a decode error
+// for malformed input (the caller decides whether to skip or stop; the
+// daemon stops, the fuzzer asserts it never panics).
+func (fr *FrameReader) Next() (Frame, error) {
+	var f Frame
+	fr.line++
+	if err := fr.dec.Decode(&f); err != nil {
+		if err == io.EOF {
+			return f, io.EOF
+		}
+		return f, fmt.Errorf("stream: frame %d: %w", fr.line, err)
+	}
+	return f, nil
+}
+
+// ReadFrames decodes an entire JSONL stream.
+func ReadFrames(r io.Reader) ([]Frame, error) {
+	fr := NewFrameReader(r)
+	var out []Frame
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+}
+
+// Pack merges named capture runs into one interleaved frame stream ordered
+// by capture timestamp (ties broken by flow name, then by per-flow packet
+// order), with a close marker directly after each flow's last packet. This
+// is how recorded single-flow captures become a deterministic multi-flow
+// ingest recording for replay and tests.
+func Pack(runs map[string]*capture.Trace) []Frame {
+	names := make([]string, 0, len(runs))
+	for name := range runs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	idx := make([]int, len(names))
+	var out []Frame
+	for {
+		best := -1
+		for i, name := range names {
+			pkts := runs[name].Packets
+			if idx[i] >= len(pkts) {
+				continue
+			}
+			if best < 0 || pkts[idx[i]].Time < runs[names[best]].Packets[idx[best]].Time {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		name := names[best]
+		out = append(out, Frame{Flow: name, Packet: runs[name].Packets[idx[best]]})
+		idx[best]++
+		if idx[best] == len(runs[name].Packets) {
+			out = append(out, Frame{Flow: name, Close: true})
+		}
+	}
+	// Close markers for empty traces, in name order.
+	for i, name := range names {
+		if len(runs[name].Packets) == 0 && idx[i] == 0 {
+			out = append(out, Frame{Flow: name, Close: true})
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"csi/internal/core"
+	"csi/internal/media"
+	"csi/internal/qoe"
+)
+
+// Result is the final inference of one finalized flow, in a fixed
+// serializable shape shared by the monitor's replay path and the batch
+// pipeline — byte-identity between the two is the replay determinism gate,
+// so everything here must be a deterministic function of the flow's frames.
+type Result struct {
+	Flow string `json:"flow"`
+	// Reason is why the flow was finalized: "close" (close frame),
+	// "drain" (monitor drained at end of input or shutdown),
+	// "evicted:mem", "evicted:lru", "evicted:idle" (robustness evictions;
+	// the inference below then covers only the packets kept) or
+	// "quarantined" (repeated solve failures parked the flow).
+	Reason  string `json:"reason"`
+	Packets int    `json:"packets"`
+	// Err is the terminal solve error, if the final inference failed even
+	// under Degrade (or the flow was quarantined before one succeeded).
+	Err string `json:"err,omitempty"`
+
+	Proto    string         `json:"proto,omitempty"`
+	Mux      bool           `json:"mux,omitempty"`
+	Requests []core.Request `json:"requests,omitempty"`
+	Groups   []core.Group   `json:"groups,omitempty"`
+	// SequenceCount is formatted at 12 significant digits: the full float
+	// wobbles in its last ULP with the parallel search kernel's scheduling,
+	// and byte-compared outputs must not carry that noise.
+	SequenceCount string            `json:"sequence_count,omitempty"`
+	Truncated     bool              `json:"truncated,omitempty"`
+	Best          []core.Assignment `json:"best,omitempty"`
+	Warnings      []core.Warning    `json:"warnings,omitempty"`
+	QoE           *QoESummary       `json:"qoe,omitempty"`
+}
+
+// QoESummary condenses the qoe.Report derived from the inferred sequence.
+type QoESummary struct {
+	StartupSec float64 `json:"startup_sec"`
+	Stalls     int     `json:"stalls"`
+	StallSec   float64 `json:"stall_sec"`
+	DataBytes  int64   `json:"data_bytes"`
+	Partial    bool    `json:"partial,omitempty"`
+}
+
+// NewResult renders one finalized flow. inf may be nil (no solve succeeded);
+// warnings are the stream-level degradations (flow_evicted, flow_quarantined)
+// appended after the inference's own.
+func NewResult(flow, reason string, packets int, inf *core.Inference, solveErr error, warns []core.Warning, man *media.Manifest) Result {
+	r := Result{Flow: flow, Reason: reason, Packets: packets}
+	if solveErr != nil {
+		r.Err = solveErr.Error()
+	}
+	if inf != nil {
+		r.Proto = inf.Proto.String()
+		r.Mux = inf.Mux
+		r.Requests = inf.Requests
+		r.Groups = inf.Groups
+		r.SequenceCount = strconv.FormatFloat(inf.SequenceCount, 'g', 12, 64)
+		r.Truncated = inf.Truncated
+		if inf.Best != nil {
+			r.Best = inf.Best.Assignments
+		}
+		r.Warnings = append(r.Warnings, inf.Warnings...)
+		if chunks := inf.QoEChunks(man); len(chunks) > 0 {
+			if rep, err := qoe.Analyze(chunks, qoe.Config{ChunkDur: man.ChunkDur, TolerateGaps: true}); err == nil {
+				r.QoE = &QoESummary{
+					StartupSec: rep.StartupDelay,
+					Stalls:     len(rep.Stalls),
+					StallSec:   rep.StallTime,
+					DataBytes:  rep.DataBytes,
+					Partial:    rep.Partial,
+				}
+			}
+		}
+	}
+	r.Warnings = append(r.Warnings, warns...)
+	return r
+}
+
+// WriteResults encodes results as JSONL, the daemon's output format.
+func WriteResults(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	for i := range results {
+		if err := enc.Encode(&results[i]); err != nil {
+			return fmt.Errorf("stream: encoding result %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,757 @@
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"csi/internal/capture"
+	"csi/internal/core"
+	"csi/internal/guard"
+	"csi/internal/guard/runner"
+	"csi/internal/media"
+	"csi/internal/obs"
+	"csi/internal/obs/live"
+	"csi/internal/packet"
+)
+
+// Shed policies for Ingest when the ring is full.
+const (
+	// ShedDrop drops the newest frame (live mode: losing the latest packet
+	// of a flow degrades one estimate; blocking the capture path would
+	// stall every flow).
+	ShedDrop = "drop"
+	// ShedBlock applies back-pressure to the producer (replay mode: every
+	// frame must be processed for byte-identical output).
+	ShedBlock = "block"
+)
+
+// Finalization reasons (Result.Reason).
+const (
+	ReasonClose       = "close"
+	ReasonDrain       = "drain"
+	ReasonEvictedMem  = "evicted:mem"
+	ReasonEvictedLRU  = "evicted:lru"
+	ReasonEvictedIdle = "evicted:idle"
+	ReasonQuarantined = "quarantined"
+)
+
+// viewFootprint approximates the buffered bytes of one packet.View (struct
+// size rounded up; string payloads are added separately). Used only for the
+// per-flow memory budget, so a rough constant is fine — it just has to be
+// deterministic.
+const viewFootprint = 160
+
+func frameBytes(v *packet.View) int64 {
+	return viewFootprint + int64(len(v.SNI)+len(v.ServerIP)+len(v.DNSQuery)+len(v.DNSAnswerIP))
+}
+
+// Options configures a Monitor.
+type Options struct {
+	// Manifest is the chunk-size ladder every flow is matched against.
+	Manifest *media.Manifest
+	// Params is the base inference configuration applied to every flow
+	// (MediaHost, Mux, Degrade, K, ...). Memo, Guard, Stages and Obs are
+	// overridden per solve; HalfCache should be set here when sharing is
+	// wanted.
+	Params core.Params
+	// MaxFlows caps the live flow table; a new flow past the cap evicts
+	// the least-recently-active one to a partial result. Default 64.
+	MaxFlows int
+	// FlowMemBudget caps the approximate buffered bytes of one flow;
+	// breaching it finalizes the flow to a partial result. Default 64 MiB.
+	FlowMemBudget int64
+	// RingSize bounds the ingest ring (frames). Default 4096.
+	RingSize int
+	// ShedPolicy is ShedDrop (default) or ShedBlock.
+	ShedPolicy string
+	// ResolveEvery re-solves a flow after this many new packets, keeping a
+	// provisional inference warm for the status page. 0 disables mid-flow
+	// solves (each flow is solved once, at finalization). Provisional
+	// solves never change final results: the estimate memo and the half
+	// cache replay their work byte-identically.
+	ResolveEvery int
+	// WorkBudget is the per-solve guard step budget; 0 is unmetered.
+	WorkBudget int64
+	// SolveDeadlineSec arms a wall-clock deadline per solve (requires
+	// Clock; a liveness backstop for live mode, never used in replay).
+	SolveDeadlineSec float64
+	// QuarantineAfter parks a flow after this many consecutive panicking
+	// solves (runner.Quarantine semantics; ordinary inference errors do not
+	// count — they are normal on short prefixes of a growing flow); 0
+	// disables.
+	QuarantineAfter int
+	// IdleEvictSec finalizes flows idle for this long in *virtual* time
+	// (the max packet timestamp seen), so replay stays deterministic.
+	// 0 disables.
+	IdleEvictSec float64
+	// Workers sizes the solve pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Obs receives the monitor's counters and gauges (stream.*); nil
+	// disables. In the daemon this registry is served by the live plane.
+	Obs *obs.Tracer
+	// Live, when non-nil, provides the per-stage Infer latency histograms
+	// (StageTimer). The flow table status section is registered by the
+	// daemon via Status.
+	Live *live.Server
+	// Clock is the sanctioned wall-time source for live mode (arming
+	// solve deadlines). Nil in replay: the monitor then reads no wall
+	// time at all.
+	Clock func() float64
+	// OnResult, when non-nil, receives each finalized Result in commit
+	// order, from the control goroutine (keep it fast; it must not call
+	// back into the Monitor).
+	OnResult func(Result)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFlows <= 0 {
+		o.MaxFlows = 64
+	}
+	if o.FlowMemBudget <= 0 {
+		o.FlowMemBudget = 64 << 20
+	}
+	if o.RingSize <= 0 {
+		o.RingSize = 4096
+	}
+	if o.ShedPolicy == "" {
+		o.ShedPolicy = ShedDrop
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// flowState is one monitored flow. The control goroutine owns every field;
+// while solving is set the trace and memo are frozen — workers read them,
+// the control loop buffers arrivals in pending instead of tapping.
+type flowState struct {
+	name  string
+	trace *capture.Trace
+	tap   func(packet.View, float64)
+	memo  *core.EstimateMemo
+
+	packets  int
+	bytes    int64
+	lastSeq  uint64  // ingest sequence of the last accepted frame (LRU key)
+	lastTime float64 // max packet timestamp (virtual clock)
+
+	solving     bool
+	pending     []packet.View // frames arrived while a solve froze the trace
+	solvedAt    int           // packet count when the last solve was scheduled
+	solves      int
+	lastInf     *core.Inference // last completed successful solve
+	lastErr     error
+
+	finalizing  bool
+	finalIssued bool // the final solve has been scheduled
+	finalSeq    uint64
+	reason      string
+	warns       []core.Warning // stream-level warnings, appended after the inference's
+	dropped     int            // frames discarded after the finalization decision
+}
+
+type solveDone struct {
+	flow string
+	inf  *core.Inference
+	err  error
+}
+
+// Monitor is the streaming front end of core.Infer: a control goroutine
+// owning the flow table and every finalization decision, plus a bounded
+// worker pool running the actual solves. All decisions (eviction, memory
+// budget, idle, LRU, drain order) are functions of the ingest frame
+// sequence alone, so a replayed frame stream finalizes the same flows for
+// the same reasons in the same order on every run.
+type Monitor struct {
+	opts Options
+	man  *media.Manifest
+
+	ring    chan Frame
+	drainCh chan struct{}
+	tasks   chan string
+	ctrl    chan solveDone
+	doneCh  chan struct{}
+	wg      sync.WaitGroup
+
+	// mu guards the maps and slices also read from other goroutines
+	// (Ingest's stop check, workers' flow lookup, Status, Drain's result
+	// pickup). The control goroutine is the only writer.
+	mu        sync.Mutex
+	stopped   bool
+	flows     map[string]*flowState
+	closed    map[string]bool // committed flows; late frames are dropped
+	results   []Result
+
+	// control-goroutine-only state
+	seq         uint64
+	vnow        float64 // max packet timestamp across all frames
+	finalSeq    uint64
+	commitNext  uint64
+	uncommitted map[uint64]Result
+	solveQ      []string
+	liveFlows   int // flows not yet finalizing
+	draining    bool
+
+	quar *runner.Quarantine
+
+	cFrames  *obs.Counter
+	cShed    *obs.Counter
+	cEvicted *obs.Counter
+	cDropped *obs.Counter
+	cSolves  *obs.Counter
+	cFails   *obs.Counter
+	cPanics  *obs.Counter
+	gActive  *obs.Gauge
+	gBuffer  *obs.Gauge
+}
+
+// testHookSolve, when set, runs inside every contained solve before the
+// inference — tests inject panics per flow to exercise quarantine. Never
+// set outside tests.
+var testHookSolve func(flow string)
+
+// New starts a monitor: the control goroutine plus opts.Workers solvers.
+// Callers must end its life with Drain.
+func New(opts Options) *Monitor {
+	opts = opts.withDefaults()
+	reg := opts.Obs.Metrics()
+	m := &Monitor{
+		opts:        opts,
+		man:         opts.Manifest,
+		ring:        make(chan Frame, opts.RingSize),
+		drainCh:     make(chan struct{}),
+		tasks:       make(chan string, opts.Workers*2),
+		ctrl:        make(chan solveDone, opts.Workers*2),
+		doneCh:      make(chan struct{}),
+		flows:       make(map[string]*flowState),
+		closed:      make(map[string]bool),
+		uncommitted: make(map[uint64]Result),
+		quar:        runner.NewQuarantine(opts.QuarantineAfter),
+		cFrames:     reg.Counter("stream.frames_total"),
+		cShed:       reg.Counter("stream.shed_total"),
+		cEvicted:    reg.Counter("stream.flows_evicted"),
+		cDropped:    reg.Counter("stream.frames_dropped_postfinal"),
+		cSolves:     reg.Counter("stream.solves_total"),
+		cFails:      reg.Counter("stream.solve_failures"),
+		cPanics:     reg.Counter("stream.solve_panics"),
+		gActive:     reg.Gauge("stream.flows_active"),
+		gBuffer:     reg.Gauge("stream.bytes_buffered"),
+	}
+	m.gActive.Set(0)
+	m.gBuffer.Set(0)
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	go m.run()
+	return m
+}
+
+// Ingest offers one frame to the monitor. Under ShedDrop a full ring sheds
+// the frame (counted in stream.shed_total) and returns false; under
+// ShedBlock it blocks until the control loop catches up. Returns false
+// without ingesting once Drain has begun.
+func (m *Monitor) Ingest(f Frame) bool {
+	m.mu.Lock()
+	stopped := m.stopped
+	m.mu.Unlock()
+	if stopped {
+		return false
+	}
+	if m.opts.ShedPolicy == ShedBlock {
+		//csi-vet:ignore taint -- back-pressure select: either arm enqueues-or-drops a frame whose processing order is fixed by the ring FIFO, not by which case fires
+		select {
+		case m.ring <- f:
+			return true
+		case <-m.drainCh:
+			return false
+		}
+	}
+	//csi-vet:ignore taint -- shed select: a full ring drops the newest frame by design (live mode); replay uses ShedBlock so no result depends on this race
+	select {
+	case m.ring <- f:
+		return true
+	default:
+		m.cShed.Inc()
+		return false
+	}
+}
+
+// Drain stops ingestion, processes every frame still buffered in the ring,
+// flushes every live flow to a final (possibly partial) inference, waits
+// for the pool to wind down and returns all results in commit order. Safe
+// to call once; Ingest returns false afterwards.
+func (m *Monitor) Drain() []Result {
+	m.mu.Lock()
+	if !m.stopped {
+		m.stopped = true
+		close(m.drainCh)
+	}
+	m.mu.Unlock()
+	<-m.doneCh
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.results
+}
+
+// FlowStatus is one row of the Status table.
+type FlowStatus struct {
+	Flow       string  `json:"flow"`
+	Packets    int     `json:"packets"`
+	Bytes      int64   `json:"bytes"`
+	LastTime   float64 `json:"last_time"`
+	Solves     int     `json:"solves"`
+	Solving    bool    `json:"solving,omitempty"`
+	Finalizing bool    `json:"finalizing,omitempty"`
+	// Sequences is the provisional sequence count from the last completed
+	// solve (reduced precision, display only).
+	Sequences string `json:"sequences,omitempty"`
+}
+
+// Status snapshots the flow table for the live /statusz page.
+func (m *Monitor) Status() any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rows := make([]FlowStatus, 0, len(m.flows))
+	//csi-vet:ignore maporder -- rows are sorted below before returning
+	for _, fs := range m.flows {
+		row := FlowStatus{
+			Flow: fs.name, Packets: fs.packets, Bytes: fs.bytes,
+			LastTime: fs.lastTime, Solves: fs.solves,
+			Solving: fs.solving, Finalizing: fs.finalizing,
+		}
+		if fs.lastInf != nil {
+			row.Sequences = fmt.Sprintf("%.6g", fs.lastInf.SequenceCount)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Flow < rows[j].Flow })
+	return map[string]any{
+		"flows":       rows,
+		"committed":   len(m.results),
+		"quarantined": m.quar.Keys(),
+	}
+}
+
+// run is the control goroutine: sole owner of the flow table and of every
+// finalization decision.
+func (m *Monitor) run() {
+	ring, drain := m.ring, m.drainCh
+	for {
+		//csi-vet:ignore taint -- control select: frame handling and solve completions commute (a solving flow's trace is frozen; arrivals buffer in pending), and results commit strictly in finalization-sequence order, so the firing order never reaches an output
+		select {
+		case f := <-ring:
+			m.handleFrame(f)
+		case d := <-m.ctrl:
+			m.handleDone(d)
+		case <-drain:
+			m.beginDrain()
+			ring, drain = nil, nil // processed; stop selecting on both
+		}
+		m.dispatch()
+		if m.draining && m.flowCount() == 0 {
+			close(m.tasks)
+			close(m.doneCh)
+			return
+		}
+	}
+}
+
+func (m *Monitor) flowCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.flows)
+}
+
+// beginDrain empties the ring (every frame already accepted by Ingest is
+// processed — replay depends on it), then finalizes every remaining flow in
+// sorted name order.
+func (m *Monitor) beginDrain() {
+	for {
+		//csi-vet:ignore taint -- drain sweep: Ingest is already refusing frames, so the ring can only shrink; the default arm just detects empty
+		select {
+		case f := <-m.ring:
+			m.handleFrame(f)
+			continue
+		default:
+		}
+		break
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.draining = true
+	names := make([]string, 0, len(m.flows))
+	//csi-vet:ignore maporder -- names are sorted below before use
+	for name, fs := range m.flows {
+		if !fs.finalizing {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m.finalize(m.flows[name], ReasonDrain)
+	}
+}
+
+func (m *Monitor) handleFrame(f Frame) {
+	m.cFrames.Inc()
+	m.seq++
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fs := m.flows[f.Flow]
+	if fs == nil {
+		if m.closed[f.Flow] {
+			m.cDropped.Inc()
+			return
+		}
+		// A close frame for a never-seen flow still creates (and instantly
+		// finalizes) it: the batch pipeline emits a result for every flow
+		// name in the stream, and replay must match it.
+		if m.liveFlows >= m.opts.MaxFlows {
+			m.evictLRU()
+		}
+		tr := capture.NewTrace()
+		fs = &flowState{name: f.Flow, trace: tr, tap: tr.Tap(), memo: core.NewEstimateMemo()}
+		m.flows[f.Flow] = fs
+		m.liveFlows++
+		m.gActive.Set(float64(m.liveFlows))
+	}
+	if fs.finalizing {
+		fs.dropped++
+		m.cDropped.Inc()
+		return
+	}
+	fs.lastSeq = m.seq
+	if f.Close {
+		m.finalize(fs, ReasonClose)
+		return
+	}
+	v := f.Packet
+	fs.packets++
+	fs.bytes += frameBytes(&v)
+	m.gBuffer.Add(float64(frameBytes(&v)))
+	if v.Time > fs.lastTime {
+		fs.lastTime = v.Time
+	}
+	if v.Time > m.vnow {
+		m.vnow = v.Time
+	}
+	if fs.solving {
+		fs.pending = append(fs.pending, v)
+	} else {
+		fs.tap(v, v.Time)
+	}
+
+	if fs.bytes > m.opts.FlowMemBudget {
+		m.finalize(fs, ReasonEvictedMem)
+		return
+	}
+	if m.opts.IdleEvictSec > 0 {
+		m.evictIdle()
+		if fs.finalizing { // the arriving flow itself cannot idle out, but be safe
+			return
+		}
+	}
+	if m.opts.ResolveEvery > 0 && !fs.solving && fs.packets-fs.solvedAt >= m.opts.ResolveEvery {
+		m.schedule(fs, false)
+	}
+}
+
+// evictLRU finalizes the least-recently-active live flow to make room.
+func (m *Monitor) evictLRU() {
+	var victim *flowState
+	for _, fs := range m.flows {
+		if fs.finalizing {
+			continue
+		}
+		if victim == nil || fs.lastSeq < victim.lastSeq ||
+			(fs.lastSeq == victim.lastSeq && fs.name < victim.name) {
+			victim = fs
+		}
+	}
+	if victim != nil {
+		m.finalize(victim, ReasonEvictedLRU)
+	}
+}
+
+// evictIdle finalizes flows idle past the budget in virtual time. Names are
+// collected and sorted so multiple evictions in one sweep commit in a
+// deterministic order.
+func (m *Monitor) evictIdle() {
+	var idle []string
+	//csi-vet:ignore maporder -- idle is sorted below before use
+	for name, fs := range m.flows {
+		if !fs.finalizing && m.vnow-fs.lastTime > m.opts.IdleEvictSec {
+			idle = append(idle, name)
+		}
+	}
+	sort.Strings(idle)
+	for _, name := range idle {
+		m.finalize(m.flows[name], ReasonEvictedIdle)
+	}
+}
+
+// finalize decides a flow's fate: assigns its commit slot, attaches the
+// stream-level warning, and either schedules the final solve or (if one is
+// in flight) waits for it. Caller holds m.mu.
+func (m *Monitor) finalize(fs *flowState, reason string) {
+	if fs.finalizing {
+		return // already has a commit slot; re-finalizing would orphan it
+	}
+	fs.finalizing = true
+	fs.reason = reason
+	fs.finalSeq = m.finalSeq
+	m.finalSeq++
+	m.liveFlows--
+	m.gActive.Set(float64(m.liveFlows))
+	switch reason {
+	case ReasonEvictedMem, ReasonEvictedLRU, ReasonEvictedIdle:
+		m.cEvicted.Inc()
+		fs.warns = append(fs.warns, core.Warning{Code: "flow_evicted",
+			Detail: fmt.Sprintf("flow %s evicted (%s) after %d packets; inference covers only the packets received", fs.name, reason, fs.packets)})
+	case ReasonQuarantined:
+		fs.warns = append(fs.warns, m.quarWarn(fs))
+	}
+	if reason == ReasonQuarantined {
+		// No further solves for a poisoned flow: commit what we have.
+		m.commit(fs, fs.lastInf, fs.lastErr)
+		return
+	}
+	if !fs.solving {
+		m.schedule(fs, true)
+	}
+	// else: handleDone sees finalizing and issues the final solve.
+}
+
+func (m *Monitor) quarWarn(fs *flowState) core.Warning {
+	return core.Warning{Code: "flow_quarantined",
+		Detail: fmt.Sprintf("flow %s parked after %d consecutive panicking solves", fs.name, m.opts.QuarantineAfter)}
+}
+
+// schedule queues one solve for fs. Caller holds m.mu; fs must not already
+// be solving.
+func (m *Monitor) schedule(fs *flowState, final bool) {
+	fs.solving = true
+	fs.solves++
+	fs.solvedAt = fs.packets
+	if final {
+		fs.finalIssued = true
+	}
+	m.solveQ = append(m.solveQ, fs.name)
+}
+
+// dispatch moves queued solves to the worker pool without ever blocking the
+// control loop (the queue is the overflow buffer; tasks capacity only sizes
+// the handoff).
+func (m *Monitor) dispatch() {
+	for len(m.solveQ) > 0 {
+		//csi-vet:ignore taint -- handoff select: whether a solve starts now or after the next control iteration only shifts provisional work; final results commit in finalization order regardless
+		select {
+		case m.tasks <- m.solveQ[0]:
+			m.solveQ = m.solveQ[1:]
+		default:
+			return
+		}
+	}
+}
+
+func (m *Monitor) handleDone(d solveDone) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fs := m.flows[d.flow]
+	if fs == nil {
+		return // already committed (quarantined while solving); drop
+	}
+	fs.solving = false
+	m.cSolves.Inc()
+	panicked := false
+	if d.err != nil {
+		m.cFails.Inc()
+		if _, ok := d.err.(*guard.PanicError); ok {
+			panicked = true
+			m.cPanics.Inc()
+		}
+		fs.lastErr = d.err
+	} else {
+		fs.lastInf = d.inf
+		fs.lastErr = nil
+	}
+	// Only panicking solves count toward quarantine: an ordinary inference
+	// error is normal on a short prefix of a still-growing flow and clears
+	// itself as data arrives, but a panic marks the flow's data as poison.
+	var parkedNow bool
+	if panicked {
+		parkedNow = m.quar.Record(fs.name, false)
+	} else if d.err == nil {
+		m.quar.Record(fs.name, true)
+	}
+
+	if parkedNow {
+		// The park decision overrides any finalization already in flight:
+		// the flow gets no further solves, so commit what we have — in the
+		// already-assigned slot if one exists (re-finalizing would orphan it
+		// and stall the commit sequence).
+		if fs.finalizing {
+			fs.reason = ReasonQuarantined
+			fs.warns = append(fs.warns, m.quarWarn(fs))
+			m.commit(fs, fs.lastInf, fs.lastErr)
+			return
+		}
+		m.finalize(fs, ReasonQuarantined)
+		return
+	}
+	if fs.finalizing && fs.finalIssued {
+		// This was the final solve: commit its outcome, success or not.
+		m.commit(fs, d.inf, d.err)
+		return
+	}
+	// Thaw: flush the frames that arrived while the trace was frozen.
+	for _, v := range fs.pending {
+		fs.tap(v, v.Time)
+	}
+	fs.pending = nil
+	if fs.finalizing {
+		m.schedule(fs, true)
+		return
+	}
+	if m.opts.ResolveEvery > 0 && fs.packets-fs.solvedAt >= m.opts.ResolveEvery {
+		m.schedule(fs, false)
+	}
+}
+
+// commit renders the flow's Result into its finalization slot and emits
+// every consecutive committed slot in order. Caller holds m.mu.
+func (m *Monitor) commit(fs *flowState, inf *core.Inference, err error) {
+	res := NewResult(fs.name, fs.reason, fs.packets, inf, err, fs.warns, m.man)
+	m.uncommitted[fs.finalSeq] = res
+	delete(m.flows, fs.name)
+	m.closed[fs.name] = true
+	m.gBuffer.Add(float64(-fs.bytes))
+	for {
+		r, ok := m.uncommitted[m.commitNext]
+		if !ok {
+			return
+		}
+		delete(m.uncommitted, m.commitNext)
+		m.commitNext++
+		m.results = append(m.results, r)
+		if m.opts.OnResult != nil {
+			m.opts.OnResult(r)
+		}
+	}
+}
+
+// worker pulls solve assignments until the task channel closes.
+func (m *Monitor) worker() {
+	defer m.wg.Done()
+	for name := range m.tasks {
+		m.ctrl <- m.solve(name)
+	}
+}
+
+// solve runs one contained inference over a frozen flow trace.
+func (m *Monitor) solve(name string) solveDone {
+	m.mu.Lock()
+	fs := m.flows[name]
+	m.mu.Unlock()
+	d := solveDone{flow: name}
+	if fs == nil {
+		d.err = fmt.Errorf("stream: flow %s vanished before its solve", name)
+		return d
+	}
+	p := m.opts.Params
+	p.Memo = fs.memo
+	p.Guard = guard.New(m.opts.WorkBudget)
+	if m.opts.SolveDeadlineSec > 0 && m.opts.Clock != nil {
+		p.Guard.WithDeadline(m.opts.Clock, m.opts.SolveDeadlineSec)
+	}
+	if m.opts.Live != nil {
+		p.Stages = m.opts.Live.StageTimer()
+	}
+	// Per-flow solves run untraced: an estimate-memo hit elides the scan's
+	// obs events, so tracing would differ between solve cadences while the
+	// results do not. The monitor's own registry carries the stream metrics.
+	p.Obs = nil
+	d.err = contain(func() error {
+		if testHookSolve != nil {
+			testHookSolve(name)
+		}
+		inf, err := core.Infer(m.man, fs.trace, p)
+		if err != nil {
+			return err
+		}
+		d.inf = inf
+		return nil
+	})
+	return d
+}
+
+// contain converts a panicking solve into an error (guard.PanicError), so a
+// poisoned flow fails its solve instead of killing the pool.
+func contain(fn func() error) (err error) {
+	defer guard.Capture(&err)
+	return fn()
+}
+
+// Batch is the reference pipeline the replay gate compares against: group
+// frames per flow (up to each flow's first close marker, mirroring the
+// monitor's post-finalize drop rule), run one batch core.Infer per flow,
+// and emit results in the same order the monitor would commit them — close
+// markers in frame order first, then never-closed flows in sorted name
+// order with ReasonDrain. No monitor, no workers, no memo: just the plain
+// offline pipeline.
+func Batch(frames []Frame, opts Options) []Result {
+	opts = opts.withDefaults()
+	type batchFlow struct {
+		trace  *capture.Trace
+		tap    func(packet.View, float64)
+		closed bool
+		pkts   int
+	}
+	flows := make(map[string]*batchFlow)
+	type finalization struct {
+		name   string
+		reason string
+	}
+	var order []finalization
+	var names []string
+	for _, f := range frames {
+		bf := flows[f.Flow]
+		if bf == nil {
+			tr := capture.NewTrace()
+			bf = &batchFlow{trace: tr, tap: tr.Tap()}
+			flows[f.Flow] = bf
+			names = append(names, f.Flow)
+		}
+		if bf.closed {
+			continue
+		}
+		if f.Close {
+			bf.closed = true
+			order = append(order, finalization{f.Flow, ReasonClose})
+			continue
+		}
+		bf.tap(f.Packet, f.Packet.Time)
+		bf.pkts++
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !flows[name].closed {
+			order = append(order, finalization{name, ReasonDrain})
+		}
+	}
+	results := make([]Result, 0, len(order))
+	for _, fin := range order {
+		bf := flows[fin.name]
+		p := opts.Params
+		p.Guard = guard.New(opts.WorkBudget)
+		inf, err := core.Infer(opts.Manifest, bf.trace, p)
+		results = append(results, NewResult(fin.name, fin.reason, bf.pkts, inf, err, nil, opts.Manifest))
+	}
+	return results
+}

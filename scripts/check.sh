@@ -32,7 +32,10 @@ echo "== csi-vet ./... (strict ignores; JSON archived as csi-vet.json)"
 go run ./cmd/csi-vet -strict-ignores -format json ./... > csi-vet.json
 
 echo "== go test -race ./..."
-go test -race ./...
+# Explicit per-package timeout: the race detector costs ~10x on the
+# inference-heavy packages, which puts internal/core near the default
+# 10-minute limit on small (single-core CI) machines.
+go test -race -timeout 30m ./...
 
 echo "== core bench smoke (1 iteration)"
 # One iteration of each mux candidate-search benchmark so the perf harness
@@ -138,6 +141,37 @@ go run ./cmd/csi-analyze -manifest "$obstmp/man.json" -run "$obstmp/run.json" -f
     -trace-out "$obstmp/fault.trace.jsonl" -metrics "$obstmp/fault.metrics.txt" > /dev/null
 cmp "$obstmp/fault.trace.jsonl" testdata/obs/fault.infer.trace.jsonl
 cmp "$obstmp/fault.metrics.txt" testdata/obs/fault.infer.metrics.txt
+
+echo "== streaming monitor replay byte-identity"
+# The daemon's replay mode must reproduce the offline batch pipeline byte
+# for byte over the same frame stream (DESIGN.md §12): pack two recorded
+# runs (clean + impaired) into one interleaved recording, run it through
+# the incremental monitor (provisional solves every 500 packets) and
+# through the batch reference, and compare outputs bit for bit.
+go run ./cmd/csi-monitord -pack -o "$obstmp/frames.jsonl" "$obstmp/run.json" "$obstmp/fault1.json"
+go run ./cmd/csi-monitord -manifest "$obstmp/man.json" -resolve-every 500 \
+    -replay "$obstmp/frames.jsonl" -o "$obstmp/replay.jsonl"
+go run ./cmd/csi-monitord -manifest "$obstmp/man.json" \
+    -batch "$obstmp/frames.jsonl" -o "$obstmp/batch.jsonl"
+cmp "$obstmp/replay.jsonl" "$obstmp/batch.jsonl"
+
+echo "== streaming monitor eviction smoke (tiny flow table)"
+# With a one-slot flow table the second flow's arrival evicts the first to
+# a partial result carrying the structured flow_evicted warning — the
+# robustness envelope degrades, never crashes.
+go run ./cmd/csi-monitord -manifest "$obstmp/man.json" -max-flows 1 \
+    -replay "$obstmp/frames.jsonl" -o "$obstmp/evict.jsonl"
+grep -q 'flow_evicted' "$obstmp/evict.jsonl"
+
+echo "== stream ingest fuzz smoke"
+# The frame decoder and the monitor's ingest/evict/solve machinery under a
+# deliberately tiny budget: truncated packets, interleaved flows,
+# out-of-order timestamps and mid-handshake eviction must never panic. The
+# static corpus under internal/stream/testdata/fuzz/ replays in go test;
+# the smoke exercises the mutation engine (minimization capped so a new
+# interesting input cannot stall the gate).
+go test -run='^$' -fuzz='^FuzzStreamIngest$' -fuzztime=5s -fuzzminimizetime=10s \
+    ./internal/stream > /dev/null
 
 echo "== bounded inference smoke (tiny work budget)"
 # A one-step work budget must truncate the inference into a *partial*
