@@ -18,6 +18,8 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +36,7 @@ import (
 	"csi/internal/obs"
 	"csi/internal/obs/live"
 	"csi/internal/stream"
+	"csi/internal/stream/crashpoint"
 )
 
 func main() {
@@ -58,6 +61,9 @@ func main() {
 		cacheMB   = flag.Int64("half-cache-mb", 0, "share MUX half enumerations across flows through a process cache of this many MiB (0 = disabled; never changes results)")
 		degrade   = flag.Bool("degrade", true, "degrade impaired flows to partial inferences with warnings instead of failing them")
 		serve     = flag.String("serve", "", "serve the live ops plane (/metrics, /statusz incl. the flow table, /events, pprof) on this address")
+		stateDir  = flag.String("state-dir", "", "crash-safe state directory (frame WAL + snapshots); a restart recovers and continues with byte-identical output")
+		walSync   = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval[:N] (every N frames, default 256) or never")
+		snapEvery = flag.Int("snapshot-every", 4096, "attempt a state snapshot after this many WAL'd frames (at the next quiescent point)")
 	)
 	flag.Parse()
 	die := func(err error) {
@@ -65,9 +71,32 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Crash injection (tests and the check.sh crash matrix only): the env
+	// read stays in the command so internal/stream remains clock- and
+	// env-free for csi-vet.
+	if err := crashpoint.Arm(os.Getenv("CSI_CRASHPOINT")); err != nil {
+		die(err)
+	}
+
+	durable := *stateDir != ""
+	liveMode := *replay == ""
+	if durable && (*batch != "" || *pack) {
+		die(fmt.Errorf("-state-dir needs the monitor (live or -replay); -batch and -pack are one-shot"))
+	}
+
 	output := io.Writer(os.Stdout)
+	emitted := 0 // complete result lines already in a durable live output file
 	if *out != "" {
-		f, err := os.Create(*out)
+		var f *os.File
+		var err error
+		if durable && liveMode {
+			// The file may hold results a crashed predecessor already
+			// emitted: keep them (suppressing re-emission below) and cut a
+			// torn last line.
+			f, emitted, err = openDurableOutput(*out)
+		} else {
+			f, err = os.Create(*out)
+		}
 		if err != nil {
 			die(err)
 		}
@@ -128,7 +157,6 @@ func main() {
 		return
 	}
 
-	liveMode := *replay == ""
 	var input io.Reader = os.Stdin
 	if !liveMode {
 		f, err := os.Open(*replay)
@@ -165,19 +193,69 @@ func main() {
 		fmt.Fprintln(os.Stderr, "csi-monitord: ops plane on http://"+srv.Addr())
 	}
 
+	// Open the durability layer before the monitor: recovery needs the
+	// restored-result count to dedupe the live output stream, and OnResult
+	// must be in place before the WAL tail replays.
+	var dur *stream.Durability
+	if durable {
+		policy, every, err := stream.ParseSyncPolicy(*walSync)
+		if err != nil {
+			die(err)
+		}
+		dur, err = stream.OpenDurability(*stateDir, stream.DurabilityOptions{
+			SyncPolicy: policy, SyncEvery: every, SnapshotEvery: *snapEvery, Obs: opts.Obs,
+		})
+		if err != nil {
+			die(err)
+		}
+	}
+
 	// Stream each result as it commits in live mode; replay writes the
-	// drained set at once (identical contents, deterministic bytes).
+	// drained set at once (identical contents, deterministic bytes). After
+	// a crash, a durable live run suppresses the results its output file
+	// already holds beyond the snapshot (exactly-once to a file; stdout is
+	// at-least-once).
 	if liveMode {
+		skip := 0
+		if dur != nil {
+			skip = emitted - dur.RestoredResults()
+		}
 		opts.OnResult = func(r stream.Result) {
+			if skip > 0 {
+				skip--
+				return
+			}
 			if err := stream.WriteResults(output, []stream.Result{r}); err != nil {
 				fmt.Fprintln(os.Stderr, "csi-monitord:", err)
 			}
 		}
 	}
 
-	mon := stream.New(opts)
+	var mon *stream.Monitor
+	var resume uint64
+	if dur != nil {
+		rec := stream.Recover(dur, opts)
+		mon = rec.Monitor
+		if !liveMode {
+			// Replay restarts the recording from the top: skip the prefix
+			// the durable state covers. Live stdin continues; no skip.
+			resume = rec.Resume
+		}
+		for _, w := range rec.Warnings {
+			fmt.Fprintf(os.Stderr, "csi-monitord: recovery: %s: %s\n", w.Code, w.Detail)
+		}
+		if rec.Resume > 0 {
+			fmt.Fprintf(os.Stderr, "csi-monitord: recovered %d frames (%d replayed from wal, %d results restored) from %s\n",
+				rec.Resume, rec.Replayed, rec.RestoredResults, *stateDir)
+		}
+	} else {
+		mon = stream.New(opts)
+	}
 	if srv != nil {
 		srv.SetStatus("monitor", mon.Status)
+		if dur != nil {
+			srv.SetStatus("durability", dur.Status)
+		}
 		srv.SetReady(true)
 	}
 
@@ -189,6 +267,7 @@ func main() {
 	readErr := make(chan error, 1)
 	go func() {
 		fr := stream.NewFrameReader(input)
+		var n uint64
 		for {
 			f, err := fr.Next()
 			if err == io.EOF {
@@ -196,8 +275,21 @@ func main() {
 				return
 			}
 			if err != nil {
+				if durable && errors.Is(err, stream.ErrTruncatedTail) {
+					// Crash-truncated recording: the valid prefix is the
+					// stream. Batch mode (loadFrames) still fails on this.
+					fmt.Fprintf(os.Stderr, "csi-monitord: input: %v (tolerated; end of stream)\n", err)
+					readErr <- nil
+					return
+				}
 				readErr <- err
 				return
+			}
+			n++
+			if n <= resume {
+				// Replay restart: the durable state already covers this
+				// prefix of the recording.
+				continue
 			}
 			mon.Ingest(f)
 		}
@@ -222,6 +314,35 @@ func main() {
 	if firstErr != nil {
 		die(firstErr)
 	}
+}
+
+// openDurableOutput opens a durable live run's output file preserving the
+// results a crashed predecessor already wrote: a torn final line (crash
+// mid-write) is cut, complete lines are counted so their re-commits can be
+// suppressed, and new writes append.
+func openDurableOutput(path string) (*os.File, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, 0, err
+	}
+	complete := bytes.Count(data, []byte{'\n'})
+	valid := int64(bytes.LastIndexByte(data, '\n') + 1)
+	if valid < int64(len(data)) {
+		if err := f.Truncate(valid); err != nil {
+			_ = f.Close()
+			return nil, 0, err
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, 0, err
+	}
+	return f, complete, nil
 }
 
 func loadFrames(path string) ([]stream.Frame, error) {

@@ -18,7 +18,9 @@ package stream
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -53,30 +55,79 @@ func WriteFrames(w io.Writer, frames []Frame) error {
 	return nil
 }
 
-// FrameReader decodes a JSONL frame stream incrementally.
+// ErrTruncatedTail marks a stream that ends mid-record: the final line is
+// incomplete (no terminating newline, not parseable). It is the expected
+// shape of a crash mid-write, so recovery-minded readers tolerate it —
+// errors.Is(err, ErrTruncatedTail) — and treat it as end of the valid
+// prefix, while batch loading still fails loudly.
+var ErrTruncatedTail = errors.New("truncated tail")
+
+// FrameReader decodes a JSONL frame stream incrementally, line by line, so
+// every error can say exactly where the damage is.
 type FrameReader struct {
-	dec  *json.Decoder
-	line int
+	br       *bufio.Reader
+	line     int    // 1-based line of the last read attempt
+	offset   int64  // byte offset of the start of that line
+	lastLine []byte // bytes consumed for the previous line (offset bookkeeping)
+	err      error  // sticky terminal error
 }
 
 // NewFrameReader reads frames from r.
 func NewFrameReader(r io.Reader) *FrameReader {
-	return &FrameReader{dec: json.NewDecoder(bufio.NewReader(r))}
+	return &FrameReader{br: bufio.NewReader(r)}
 }
 
-// Next returns the next frame, io.EOF at end of stream, or a decode error
-// for malformed input (the caller decides whether to skip or stop; the
-// daemon stops, the fuzzer asserts it never panics).
+// Line reports the 1-based line number of the most recent Next call.
+func (fr *FrameReader) Line() int { return fr.line }
+
+// Offset reports the byte offset where the most recent Next's line began.
+func (fr *FrameReader) Offset() int64 { return fr.offset }
+
+// Next returns the next frame, io.EOF at a clean end of stream, or a decode
+// error carrying the line number and byte offset of the damage. A final
+// line that ends mid-record (no newline, unparseable) wraps
+// ErrTruncatedTail so recovery paths can distinguish a crash-truncated
+// recording from corruption. Blank lines are skipped. Errors are terminal:
+// after any non-nil error every further Next repeats it.
 func (fr *FrameReader) Next() (Frame, error) {
 	var f Frame
-	fr.line++
-	if err := fr.dec.Decode(&f); err != nil {
-		if err == io.EOF {
-			return f, io.EOF
-		}
-		return f, fmt.Errorf("stream: frame %d: %w", fr.line, err)
+	if fr.err != nil {
+		return f, fr.err
 	}
-	return f, nil
+	for {
+		fr.offset += int64(len(fr.lastLine))
+		raw, rerr := fr.br.ReadBytes('\n')
+		fr.line++
+		fr.lastLine = raw
+		if rerr != nil && rerr != io.EOF {
+			fr.err = fmt.Errorf("stream: line %d (byte offset %d): %w", fr.line, fr.offset, rerr)
+			return f, fr.err
+		}
+		atEOF := rerr == io.EOF
+		trimmed := bytes.TrimSpace(raw)
+		if len(trimmed) == 0 {
+			if atEOF {
+				fr.err = io.EOF
+				return f, io.EOF
+			}
+			continue // blank line
+		}
+		if err := json.Unmarshal(trimmed, &f); err != nil {
+			if atEOF {
+				// The recording stops mid-line: a crash-truncated tail,
+				// not corruption.
+				fr.err = fmt.Errorf("stream: line %d (byte offset %d): %w: %v", fr.line, fr.offset, ErrTruncatedTail, err)
+			} else {
+				fr.err = fmt.Errorf("stream: line %d (byte offset %d): %w", fr.line, fr.offset, err)
+			}
+			return f, fr.err
+		}
+		// A parseable final line without a newline is a complete frame.
+		if atEOF {
+			fr.err = io.EOF
+		}
+		return f, nil
+	}
 }
 
 // ReadFrames decodes an entire JSONL stream.

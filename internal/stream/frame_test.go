@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// The FrameReader's diagnostics are part of the durability story: when a
+// recording is damaged, the error must say exactly where (line, byte
+// offset), and a crash-truncated tail must be distinguishable from
+// corruption so recovery can tolerate the former while batch loading
+// rejects both.
+
+func TestFrameReaderDecodeErrorPosition(t *testing.T) {
+	in := `{"flow":"a","packet":{"time":1,"conn":1,"len":10}}
+{"flow":"b","close":true}
+not json at all
+{"flow":"c","close":true}
+`
+	fr := NewFrameReader(strings.NewReader(in))
+	for i := 0; i < 2; i++ {
+		if _, err := fr.Next(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	_, err := fr.Next()
+	if err == nil {
+		t.Fatal("decode of garbage line succeeded")
+	}
+	wantOffset := int64(len(`{"flow":"a","packet":{"time":1,"conn":1,"len":10}}` + "\n" + `{"flow":"b","close":true}` + "\n"))
+	if fr.Line() != 3 || fr.Offset() != wantOffset {
+		t.Fatalf("damage reported at line %d offset %d, want line 3 offset %d", fr.Line(), fr.Offset(), wantOffset)
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "byte offset 77") {
+		t.Fatalf("error lacks position: %v", err)
+	}
+	if errors.Is(err, ErrTruncatedTail) {
+		t.Fatalf("mid-stream corruption classified as truncated tail: %v", err)
+	}
+	// Errors are sticky: the valid frame after the damage is unreachable.
+	if _, err2 := fr.Next(); err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("error not sticky: %v", err2)
+	}
+}
+
+func TestFrameReaderTruncatedTail(t *testing.T) {
+	in := `{"flow":"a","packet":{"time":1,"conn":1,"len":10}}
+{"flow":"a","clo`
+	fr := NewFrameReader(strings.NewReader(in))
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fr.Next()
+	if !errors.Is(err, ErrTruncatedTail) {
+		t.Fatalf("truncated final line not ErrTruncatedTail: %v", err)
+	}
+	if fr.Line() != 2 {
+		t.Fatalf("truncation reported at line %d, want 2", fr.Line())
+	}
+	// Batch loading still fails loudly on the same stream.
+	if _, err := ReadFrames(strings.NewReader(in)); !errors.Is(err, ErrTruncatedTail) {
+		t.Fatalf("ReadFrames tolerated a truncated tail: %v", err)
+	}
+}
+
+func TestFrameReaderFinalLineWithoutNewline(t *testing.T) {
+	// A complete record missing only its newline is a clean end of stream,
+	// not a truncated tail: the crash happened after the payload landed.
+	in := `{"flow":"a","packet":{"time":1,"conn":1,"len":10}}
+{"flow":"a","close":true}`
+	frames, err := ReadFrames(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 || !frames[1].Close {
+		t.Fatalf("got %d frames, want 2 ending in close", len(frames))
+	}
+}
+
+func TestFrameReaderSkipsBlankLines(t *testing.T) {
+	in := "\n{\"flow\":\"a\",\"close\":true}\n\n   \n{\"flow\":\"b\",\"close\":true}\n\n"
+	fr := NewFrameReader(strings.NewReader(in))
+	f1, err := fr.Next()
+	if err != nil || f1.Flow != "a" {
+		t.Fatalf("first frame %+v, %v", f1, err)
+	}
+	if fr.Line() != 2 {
+		t.Fatalf("first frame on line %d, want 2", fr.Line())
+	}
+	f2, err := fr.Next()
+	if err != nil || f2.Flow != "b" {
+		t.Fatalf("second frame %+v, %v", f2, err)
+	}
+	if fr.Line() != 5 {
+		t.Fatalf("second frame on line %d, want 5", fr.Line())
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("end of blank-padded stream: %v", err)
+	}
+}
+
+func TestFrameReaderEmptyStream(t *testing.T) {
+	fr := NewFrameReader(strings.NewReader(""))
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("empty stream: %v", err)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("EOF not sticky: %v", err)
+	}
+}

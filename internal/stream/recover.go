@@ -1,0 +1,432 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"csi/internal/core"
+	"csi/internal/obs"
+	"csi/internal/stream/crashpoint"
+)
+
+// crashpointHere marks a durability boundary for the crash-injection
+// harness; disarmed it is one atomic load.
+func crashpointHere(name string) { crashpoint.Here(name) }
+
+// DurabilityOptions configures a state directory (csi-monitord -state-dir).
+type DurabilityOptions struct {
+	// SyncPolicy is SyncAlways, SyncInterval (default) or SyncNever.
+	SyncPolicy string
+	// SyncEvery is the fsync cadence in frames under SyncInterval
+	// (default 256).
+	SyncEvery int
+	// SegmentBytes rotates WAL segments at this size (default 8 MiB).
+	SegmentBytes int64
+	// SnapshotEvery attempts a snapshot after this many WAL'd frames
+	// (default 4096); the snapshot lands at the next quiescent point.
+	SnapshotEvery int
+	// Obs receives the durability counters and gauges (stream.wal_*,
+	// stream.snapshot*, stream.recoveries_total); nil disables.
+	Obs *obs.Tracer
+}
+
+func (o DurabilityOptions) withDefaults() DurabilityOptions {
+	if o.SyncPolicy == "" {
+		o.SyncPolicy = SyncInterval
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = defaultSyncEvery
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 4096
+	}
+	return o
+}
+
+// Durability is a monitor's crash-safety layer over one state directory:
+// the frame WAL plus periodic snapshots (DESIGN.md §13). OpenDurability
+// recovers whatever a previous process left behind; Recover seeds a monitor
+// from it; the monitor then calls appendFrame before applying each new
+// frame and writeSnapshot at quiescent points.
+//
+// All append/snapshot methods run on the monitor's control goroutine;
+// Status is safe from any goroutine (the live /statusz plane).
+type Durability struct {
+	dir  string
+	opts DurabilityOptions
+	w    *wal
+
+	// Recovered state, consumed by Recover.
+	snap      *Snapshot
+	tail      []walRecord
+	baseSeq   uint64 // frames durable at open: max(snapshot seq, WAL last seq)
+	restored  int    // results carried in the snapshot
+	recovered bool   // open found prior durable state to recover
+	warns     []core.Warning
+
+	// mu guards the fields below (written by the control goroutine, read
+	// by Status from the live plane).
+	mu          sync.Mutex
+	snaps       []string // live snapshot paths, oldest first
+	sinceSync   int      // frames appended since the last fsync
+	sinceSnap   int      // frames appended since the last snapshot
+	lastSnapSeq uint64
+	walBytes    int64
+	failed      bool
+	lastErr     string
+
+	cWALBytes   *obs.Counter
+	cWALAppends *obs.Counter
+	cWALFsyncs  *obs.Counter
+	cWALErrors  *obs.Counter
+	cSnapshots  *obs.Counter
+	cRecoveries *obs.Counter
+	gSnapAge    *obs.Gauge
+	gWALLag     *obs.Gauge
+}
+
+// OpenDurability opens (creating if needed) a state directory and recovers
+// its contents: the newest verifiable snapshot, the salvageable WAL suffix
+// past it, and structured warnings for any damage survived along the way.
+// This is the durability layer's only directory enumeration; wal.go and
+// snapshot.go operate on the paths discovered here.
+func OpenDurability(dir string, o DurabilityOptions) (*Durability, error) {
+	o = o.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stream: creating state dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("stream: listing state dir: %w", err)
+	}
+	var segPaths, snapPaths []string
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// Leftover of an interrupted snapshot write: never renamed, so
+			// never authoritative.
+			_ = os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, walSegSuffix):
+			if _, ok := segSeq(name); ok {
+				segPaths = append(segPaths, filepath.Join(dir, name))
+			}
+		case strings.HasSuffix(name, snapSuffix):
+			if _, ok := snapSeqOf(name); ok {
+				snapPaths = append(snapPaths, filepath.Join(dir, name))
+			}
+		}
+	}
+	sortSegPaths(segPaths)
+	sort.Strings(snapPaths) // zero-padded seq: lexical == numeric
+
+	reg := o.Obs.Metrics()
+	d := &Durability{
+		dir: dir, opts: o, snaps: snapPaths,
+		cWALBytes:   reg.Counter("stream.wal_bytes"),
+		cWALAppends: reg.Counter("stream.wal_appends"),
+		cWALFsyncs:  reg.Counter("stream.wal_fsyncs"),
+		cWALErrors:  reg.Counter("stream.wal_errors"),
+		cSnapshots:  reg.Counter("stream.snapshots_total"),
+		cRecoveries: reg.Counter("stream.recoveries_total"),
+		gSnapAge:    reg.Gauge("stream.snapshot_age_frames"),
+		gWALLag:     reg.Gauge("stream.wal_lag_frames"),
+	}
+
+	snap, snapWarns := loadLatestSnapshot(snapPaths)
+	d.warns = append(d.warns, snapWarns...)
+	var snapSeq uint64
+	if snap != nil {
+		snapSeq = snap.Seq
+		d.restored = len(snap.Results)
+	}
+
+	w, recs, torn, corrupt, err := openWAL(dir, segPaths, o.SegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	d.w = w
+	if corrupt != nil {
+		d.warns = append(d.warns, core.Warning{Code: "wal_corrupt", Detail: corrupt.Error()})
+	} else if torn {
+		d.warns = append(d.warns, core.Warning{Code: "wal_truncated_tail",
+			Detail: "incomplete record at the wal tail dropped (crash mid-append); the valid prefix replays"})
+	}
+
+	// Drop records the snapshot already covers; what remains is the replay
+	// tail and must continue the snapshot's sequence without a gap.
+	tail := recs
+	for len(tail) > 0 && tail[0].seq <= snapSeq {
+		tail = tail[1:]
+	}
+	if len(tail) > 0 && tail[0].seq != snapSeq+1 {
+		if snap == nil {
+			// No snapshot to anchor a WAL that starts past frame 1: the
+			// prefix is unrecoverable and silently wrong output is worse
+			// than refusing.
+			return nil, fmt.Errorf("stream: wal starts at seq %d with no usable snapshot covering the prefix", tail[0].seq)
+		}
+		// Disjoint tail (cannot arise from a crash; only external damage):
+		// the snapshot is authoritative, the tail is unusable.
+		d.warns = append(d.warns, core.Warning{Code: "wal_gap",
+			Detail: fmt.Sprintf("wal resumes at seq %d but snapshot covers through %d; dropping %d unanchored records", tail[0].seq, snapSeq, len(tail))})
+		if err := w.truncateThrough(w.lastSeq); err != nil {
+			return nil, err
+		}
+		w.lastSeq = snapSeq
+		tail = nil
+	}
+
+	d.snap = snap
+	d.tail = tail
+	d.baseSeq = snapSeq
+	if w.lastSeq > d.baseSeq {
+		d.baseSeq = w.lastSeq
+	}
+	d.lastSnapSeq = snapSeq
+	d.walBytes = w.totalBytes()
+	d.sinceSnap = len(tail)
+	if snap != nil || len(recs) > 0 || torn || corrupt != nil {
+		d.recovered = true
+		d.cRecoveries.Inc()
+	}
+	d.cWALBytes.Add(d.walBytes)
+	d.gSnapAge.Set(float64(d.sinceSnap))
+	d.gWALLag.Set(0)
+	return d, nil
+}
+
+// RestoredResults reports how many committed results the recovered snapshot
+// carries — the daemon uses it to suppress re-emission of results already
+// written before the crash.
+func (d *Durability) RestoredResults() int { return d.restored }
+
+// Warnings reports the damage survived during recovery (corrupt snapshots
+// fallen past, torn or corrupt WAL tails salvaged).
+func (d *Durability) Warnings() []core.Warning { return d.warns }
+
+// fail degrades the layer to non-durable: the monitor keeps running (losing
+// ingest over a full disk would turn a durability feature into an outage)
+// but the condition is counted, surfaced on /statusz, and recovery from
+// this directory is no longer promised.
+func (d *Durability) fail(err error) {
+	d.cWALErrors.Inc()
+	d.mu.Lock()
+	d.failed = true
+	d.lastErr = err.Error()
+	d.mu.Unlock()
+}
+
+// appendFrame logs one accepted frame before the monitor applies it.
+// Called by handleFrame on the control goroutine for every frame past
+// baseSeq.
+func (d *Durability) appendFrame(seq uint64, f *Frame) {
+	d.mu.Lock()
+	failed := d.failed
+	d.mu.Unlock()
+	if failed {
+		return
+	}
+	crashpointHere("wal.pre_append")
+	payload, err := json.Marshal(f)
+	if err != nil {
+		d.fail(fmt.Errorf("stream: encoding wal frame: %w", err))
+		return
+	}
+	n, err := d.w.append(seq, payload)
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	d.cWALBytes.Add(int64(n))
+	d.cWALAppends.Inc()
+	sync := d.opts.SyncPolicy == SyncAlways
+	d.mu.Lock()
+	d.walBytes += int64(n)
+	d.sinceSync++
+	d.sinceSnap++
+	if d.opts.SyncPolicy == SyncInterval && d.sinceSync >= d.opts.SyncEvery {
+		sync = true
+	}
+	d.mu.Unlock()
+	if sync {
+		if err := d.w.sync(); err != nil {
+			d.fail(err)
+			return
+		}
+		d.cWALFsyncs.Inc()
+		d.mu.Lock()
+		d.sinceSync = 0
+		d.mu.Unlock()
+	}
+	d.mu.Lock()
+	d.gWALLag.Set(float64(d.sinceSync))
+	d.gSnapAge.Set(float64(d.sinceSnap))
+	d.mu.Unlock()
+	crashpointHere("wal.post_append")
+}
+
+// snapshotDue reports whether enough frames accumulated since the last
+// snapshot; the monitor then snapshots at its next quiescent point.
+func (d *Durability) snapshotDue() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.failed && d.sinceSnap >= d.opts.SnapshotEvery
+}
+
+// writeSnapshot persists a snapshot, prunes old ones past snapKeep, and
+// truncates the WAL prefix the snapshot now covers. Control goroutine only.
+func (d *Durability) writeSnapshot(s *Snapshot) {
+	d.mu.Lock()
+	failed := d.failed
+	d.mu.Unlock()
+	if failed {
+		return
+	}
+	path, err := writeSnapshotFile(d.dir, s)
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	d.mu.Lock()
+	d.snaps = append(d.snaps, path)
+	var prune []string
+	for len(d.snaps) > snapKeep {
+		prune = append(prune, d.snaps[0])
+		d.snaps = d.snaps[1:]
+	}
+	d.mu.Unlock()
+	for _, p := range prune {
+		// Best effort: a lingering old snapshot is shadowed by name order.
+		_ = os.Remove(p)
+	}
+	if err := d.w.truncateThrough(s.Seq); err != nil {
+		d.fail(err)
+		return
+	}
+	d.cSnapshots.Inc()
+	d.mu.Lock()
+	d.lastSnapSeq = s.Seq
+	d.sinceSnap = 0
+	d.sinceSync = 0
+	d.walBytes = d.w.totalBytes()
+	d.gSnapAge.Set(0)
+	d.gWALLag.Set(0)
+	d.mu.Unlock()
+}
+
+// close seals the WAL (final fsync). Control goroutine only; idempotent.
+func (d *Durability) close() {
+	if err := d.w.close(); err != nil {
+		d.fail(err)
+	}
+}
+
+// DurabilityStatus is the /statusz durability section.
+type DurabilityStatus struct {
+	Dir               string `json:"dir"`
+	SyncPolicy        string `json:"sync_policy"`
+	SyncEvery         int    `json:"sync_every,omitempty"`
+	WALBytes          int64  `json:"wal_bytes"`
+	WALLagFrames      int    `json:"wal_lag_frames"`
+	SnapshotAgeFrames int    `json:"snapshot_age_frames"`
+	LastSnapshotSeq   uint64 `json:"last_snapshot_seq"`
+	// Recoveries counts this process's recoveries from prior durable
+	// state: 0 on a fresh start, 1 when the open salvaged anything (the
+	// lifetime total across restarts is stream.recoveries_total scraped
+	// externally).
+	Recoveries       int    `json:"recoveries"`
+	RestoredResults  int    `json:"restored_results,omitempty"`
+	RecoveryWarnings int    `json:"recovery_warnings,omitempty"`
+	Failed           bool   `json:"failed,omitempty"`
+	LastError        string `json:"last_error,omitempty"`
+}
+
+// Status snapshots the durability state for the live /statusz page. Safe
+// from any goroutine; reads no wall clock (ages are frame-based).
+func (d *Durability) Status() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	recoveries := 0
+	if d.recovered {
+		recoveries = 1
+	}
+	return DurabilityStatus{
+		Dir:               d.dir,
+		SyncPolicy:        d.opts.SyncPolicy,
+		SyncEvery:         d.opts.SyncEvery,
+		WALBytes:          d.walBytes,
+		WALLagFrames:      d.sinceSync,
+		SnapshotAgeFrames: d.sinceSnap,
+		LastSnapshotSeq:   d.lastSnapSeq,
+		Recoveries:        recoveries,
+		RestoredResults:   d.restored,
+		RecoveryWarnings:  len(d.warns),
+		Failed:            d.failed,
+		LastError:         d.lastErr,
+	}
+}
+
+// Recovered is the outcome of seeding a monitor from a state directory.
+type Recovered struct {
+	// Monitor is live and has already re-applied the WAL tail.
+	Monitor *Monitor
+	// Resume is the number of input frames the durable state already
+	// covers: a replay feed skips this many frames and continues.
+	Resume uint64
+	// Replayed is how many WAL tail frames were re-applied past the
+	// snapshot.
+	Replayed int
+	// RestoredResults is how many committed results the snapshot carried.
+	RestoredResults int
+	// Warnings is the damage survived during recovery.
+	Warnings []core.Warning
+}
+
+// Recover starts a monitor seeded from the state directory: the snapshot
+// restores the flow table and committed results, then the WAL tail frames
+// are re-applied through the normal ingest path (blocking — recovery never
+// sheds). New frames append to the WAL as usual; tail frames do not (they
+// are already in it).
+func Recover(d *Durability, opts Options) *Recovered {
+	// Decode the tail before the monitor starts, so baseSeq is final
+	// before any goroutine reads it.
+	frames := make([]Frame, 0, len(d.tail))
+	for _, rec := range d.tail {
+		var f Frame
+		if err := json.Unmarshal(rec.payload, &f); err != nil {
+			// CRC-clean but unparseable: corruption the checksum cannot
+			// see. Salvage stops here; the records behind it are
+			// unanchored, and the on-disk log is no longer consistent
+			// with what replays — degrade to non-durable.
+			d.warns = append(d.warns, core.Warning{Code: "wal_corrupt",
+				Detail: fmt.Sprintf("wal record seq %d undecodable (%v); dropping the rest of the tail", rec.seq, err)})
+			d.baseSeq = rec.seq - 1
+			d.fail(fmt.Errorf("stream: wal record seq %d undecodable", rec.seq))
+			break
+		}
+		frames = append(frames, f)
+	}
+	d.tail = nil
+	opts.Durable = d
+	opts.restore = d.snap
+	m := New(opts)
+	for _, f := range frames {
+		m.ring <- f // pre-drain, control loop live: always delivered
+	}
+	return &Recovered{
+		Monitor:         m,
+		Resume:          d.baseSeq,
+		Replayed:        len(frames),
+		RestoredResults: d.restored,
+		Warnings:        d.warns,
+	}
+}

@@ -103,6 +103,14 @@ type Options struct {
 	// order, from the control goroutine (keep it fast; it must not call
 	// back into the Monitor).
 	OnResult func(Result)
+	// Durable, when non-nil, makes the monitor crash-safe: every accepted
+	// frame is WAL'd before it mutates the flow table, and quiescent
+	// points are snapshotted. Obtain via OpenDurability; seed a recovered
+	// monitor via Recover rather than New.
+	Durable *Durability
+
+	// restore carries a recovered snapshot into New (set by Recover only).
+	restore *Snapshot
 }
 
 func (o Options) withDefaults() Options {
@@ -138,12 +146,12 @@ type flowState struct {
 	lastSeq  uint64  // ingest sequence of the last accepted frame (LRU key)
 	lastTime float64 // max packet timestamp (virtual clock)
 
-	solving     bool
-	pending     []packet.View // frames arrived while a solve froze the trace
-	solvedAt    int           // packet count when the last solve was scheduled
-	solves      int
-	lastInf     *core.Inference // last completed successful solve
-	lastErr     error
+	solving  bool
+	pending  []packet.View // frames arrived while a solve froze the trace
+	solvedAt int           // packet count when the last solve was scheduled
+	solves   int
+	lastInf  *core.Inference // last completed successful solve
+	lastErr  error
 
 	finalizing  bool
 	finalIssued bool // the final solve has been scheduled
@@ -179,11 +187,11 @@ type Monitor struct {
 	// mu guards the maps and slices also read from other goroutines
 	// (Ingest's stop check, workers' flow lookup, Status, Drain's result
 	// pickup). The control goroutine is the only writer.
-	mu        sync.Mutex
-	stopped   bool
-	flows     map[string]*flowState
-	closed    map[string]bool // committed flows; late frames are dropped
-	results   []Result
+	mu      sync.Mutex
+	stopped bool
+	flows   map[string]*flowState
+	closed  map[string]bool // committed flows; late frames are dropped
+	results []Result
 
 	// control-goroutine-only state
 	seq         uint64
@@ -242,6 +250,11 @@ func New(opts Options) *Monitor {
 	}
 	m.gActive.Set(0)
 	m.gBuffer.Set(0)
+	if opts.restore != nil {
+		// Recovery: seed the flow table and committed results before any
+		// goroutine can observe partial state.
+		m.restoreSnapshot(opts.restore)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -294,8 +307,22 @@ func (m *Monitor) Drain() []Result {
 	<-m.doneCh
 	m.wg.Wait()
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.results
+	results := m.results
+	var final *Snapshot
+	if m.opts.Durable != nil {
+		// Graceful drain: one last snapshot carrying every result (the
+		// flow table is empty and the commit sequence fully drained), then
+		// drop the WAL it covers — a clean restart skips replay entirely.
+		crashpointHere("drain.pre_snapshot")
+		final = m.snapshotLocked()
+	}
+	m.mu.Unlock()
+	if final != nil {
+		d := m.opts.Durable
+		d.writeSnapshot(final)
+		d.close()
+	}
+	return results
 }
 
 // FlowStatus is one row of the Status table.
@@ -353,6 +380,7 @@ func (m *Monitor) run() {
 			ring, drain = nil, nil // processed; stop selecting on both
 		}
 		m.dispatch()
+		m.maybeSnapshot()
 		if m.draining && m.flowCount() == 0 {
 			close(m.tasks)
 			close(m.doneCh)
@@ -400,6 +428,12 @@ func (m *Monitor) beginDrain() {
 func (m *Monitor) handleFrame(f Frame) {
 	m.cFrames.Inc()
 	m.seq++
+	if d := m.opts.Durable; d != nil && m.seq > d.baseSeq {
+		// Write-ahead: the frame is durable before any state it mutates.
+		// Frames at or below baseSeq are the recovery tail — already in
+		// the WAL or covered by the snapshot.
+		d.appendFrame(m.seq, &f)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -627,6 +661,7 @@ func (m *Monitor) handleDone(d solveDone) {
 // commit renders the flow's Result into its finalization slot and emits
 // every consecutive committed slot in order. Caller holds m.mu.
 func (m *Monitor) commit(fs *flowState, inf *core.Inference, err error) {
+	crashpointHere("commit.pre_emit")
 	res := NewResult(fs.name, fs.reason, fs.packets, inf, err, fs.warns, m.man)
 	m.uncommitted[fs.finalSeq] = res
 	delete(m.flows, fs.name)

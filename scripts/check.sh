@@ -13,9 +13,14 @@
 #                                diffed byte-for-byte against testdata/obs/
 #
 # Any failure aborts the gate. Run from anywhere inside the repository.
+# `check.sh -quick` trims the crash-recovery matrix to its two
+# highest-value points; every other gate runs in full either way.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+QUICK=0
+[ "${1:-}" = "-quick" ] && QUICK=1
 
 echo "== go build ./..."
 go build ./...
@@ -162,6 +167,49 @@ echo "== streaming monitor eviction smoke (tiny flow table)"
 go run ./cmd/csi-monitord -manifest "$obstmp/man.json" -max-flows 1 \
     -replay "$obstmp/frames.jsonl" -o "$obstmp/evict.jsonl"
 grep -q 'flow_evicted' "$obstmp/evict.jsonl"
+
+echo "== crash-recovery matrix (kill -> recover -> byte-identical)"
+# Durability gate (DESIGN.md §13): each named crashpoint in
+# internal/stream/crashpoint marks a durability boundary; killing the
+# daemon there (CSI_CRASHPOINT, exit 86) and restarting against the same
+# -state-dir must reproduce the uninterrupted replay byte for byte. First
+# the baseline: a durable uninterrupted run must itself match the
+# non-durable replay — -state-dir can never perturb output. Under -quick
+# only the two highest-value points run (a mid-stream WAL append and the
+# published-snapshot boundary); the full matrix covers all six.
+go build -o "$obstmp/csi-monitord" ./cmd/csi-monitord
+n=$(wc -l < "$obstmp/frames.jsonl")
+"$obstmp/csi-monitord" -manifest "$obstmp/man.json" -resolve-every 500 \
+    -state-dir "$obstmp/durable-clean" -snapshot-every 8192 \
+    -replay "$obstmp/frames.jsonl" -o "$obstmp/durable.jsonl" 2> /dev/null
+cmp "$obstmp/durable.jsonl" "$obstmp/replay.jsonl"
+crashpoints="wal.pre_append@$((n / 3)) wal.post_append@$((n / 2)) snapshot.pre_rename snapshot.post_rename commit.pre_emit drain.pre_snapshot"
+if [ "$QUICK" = 1 ]; then
+    crashpoints="wal.post_append@$((n / 2)) snapshot.post_rename"
+fi
+for pt in $crashpoints; do
+    sdir="$obstmp/crash-$(echo "$pt" | tr '.@' '--')"
+    rc=0
+    CSI_CRASHPOINT="$pt" "$obstmp/csi-monitord" -manifest "$obstmp/man.json" -resolve-every 500 \
+        -state-dir "$sdir" -snapshot-every 8192 \
+        -replay "$obstmp/frames.jsonl" -o "$sdir.out" > /dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 86 ]; then
+        echo "crashpoint $pt: expected exit 86 from the armed run, got $rc" >&2
+        exit 1
+    fi
+    "$obstmp/csi-monitord" -manifest "$obstmp/man.json" -resolve-every 500 \
+        -state-dir "$sdir" -snapshot-every 8192 \
+        -replay "$obstmp/frames.jsonl" -o "$sdir.out" 2> /dev/null
+    cmp "$sdir.out" "$obstmp/replay.jsonl"
+done
+
+echo "== WAL record salvage fuzz smoke"
+# The WAL scanner against arbitrary segment bytes: salvage must never
+# panic, never misclassify a torn tail as corruption, and whatever it
+# keeps must re-encode to exactly the valid prefix it reported. Seeds
+# mirror the crash matrix's real damage shapes (minimization capped).
+go test -run='^$' -fuzz='^FuzzWALRecord$' -fuzztime=5s -fuzzminimizetime=10s \
+    ./internal/stream > /dev/null
 
 echo "== stream ingest fuzz smoke"
 # The frame decoder and the monitor's ingest/evict/solve machinery under a
